@@ -1,0 +1,29 @@
+"""Shared benchmark configuration.
+
+Scale policy: the cycle-accurate simulator is pure Python, so the bigger
+configurations run, by default, with each thread computing a fraction of
+its Z columns (placement and parallel structure unchanged — see
+DESIGN.md).  Set ``LBP_BENCH_SCALE=1`` for full paper scale (slow) or any
+other divisor to trade fidelity for time.
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale(default):
+    """Scale divisor for the heavy figures (env LBP_BENCH_SCALE overrides)."""
+    value = os.environ.get("LBP_BENCH_SCALE")
+    return int(value) if value else default
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  iterations=1, rounds=1)
+
+    return runner

@@ -1,0 +1,55 @@
+"""Ablation A2 — §5.3: interconnect sizing and the value of placement.
+
+We sweep the per-hop link latency of the r1/r2/r3 tree on the 16-core
+machine and re-run the base (all data in bank 0, remote-heavy) and d+c
+(distributed + copied, placement-aware) matmul versions.  A slower
+interconnect hurts the placement-unaware version much more — quantifying
+the paper's argument that Deterministic OpenMP's explicit mapping is what
+keeps remote traffic, and thus the interconnect requirement, low.
+"""
+
+from conftest import bench_scale
+
+from repro.compiler import compile_to_program
+from repro.machine import LBP, Params
+from repro.workloads.matmul import matmul_source, verify_matmul
+
+H = 64
+CORES = 16
+
+
+def _run(version, hop_latency, scale):
+    program = compile_to_program(matmul_source(version, H, scale=scale), "mm.c")
+    params = Params(num_cores=CORES, link_hop_latency=hop_latency)
+    machine = LBP(params).load(program)
+    stats = machine.run(max_cycles=100_000_000)
+    verify_matmul(machine, program, version, H, scale=scale)
+    return stats.cycles
+
+
+def test_router_latency_sweep(once):
+    scale = bench_scale(8)
+    hops = (1, 2, 4)
+
+    def sweep():
+        return {
+            version: [_run(version, hop, scale) for hop in hops]
+            for version in ("base", "d+c")
+        }
+
+    results = once(sweep)
+    print()
+    print("16-core machine, link hop latency swept over", list(hops))
+    for version, cycles in results.items():
+        print("  %-5s cycles   :" % version, cycles)
+
+    base = results["base"]
+    dandc = results["d+c"]
+    # slower links cost cycles for the remote-heavy version
+    assert base[0] < base[1] < base[2], base
+    # relative degradation: placement-aware suffers much less
+    base_penalty = base[-1] / base[0]
+    dandc_penalty = dandc[-1] / dandc[0]
+    print("  base penalty %.2fx vs d+c penalty %.2fx" % (base_penalty, dandc_penalty))
+    assert base_penalty > dandc_penalty, (base_penalty, dandc_penalty)
+    assert base_penalty > 1.05, base_penalty

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""The paper's §6 I/O patterns: a controller hart and a DMA unit.
+
+LBP has no interrupts.  Part 1 runs figure 17's request/response scheme:
+worker harts write a request word into the controller's bank and block on
+``p_lwre``; a dedicated controller hart polls the device and forwards
+each value over the intercore backward line with ``p_swre`` — "within a
+few cycles it is received by the requesting hart".
+
+Part 2 runs the DMA pattern: the controller streams a block of data from
+the device into every core's own bank, then releases each consumer with
+a ``p_swre`` completion token; consumers then crunch purely core-local
+data.  The synchronisation is a register dependency resolved by the
+out-of-order engines — no interrupt handler anywhere.
+
+Run:  python examples/io_controller_dma.py
+"""
+
+from repro.compiler import compile_to_program
+from repro.machine import LBP, Params
+from repro.machine.io import ScriptedInput, attach_input
+from repro.workloads.iopatterns import (
+    controller_source,
+    dma_source,
+    stream_device_addr,
+)
+
+CORES = 4
+
+
+def run(source, values, period):
+    program = compile_to_program(source, "io.c")
+    machine = LBP(Params(num_cores=CORES)).load(program)
+    device = ScriptedInput([(period * (i + 1), v) for i, v in enumerate(values)])
+    attach_input(machine, stream_device_addr(CORES), device)
+    stats = machine.run(max_cycles=20_000_000)
+    return program, machine, device, stats
+
+
+def main():
+    print("--- figure 17: request/response through a controller hart ---")
+    workers = 6
+    values = [1000 + 11 * i for i in range(workers)]
+    program, machine, device, stats = run(
+        controller_source(CORES, workers), values, period=300)
+    base = program.symbol("results")
+    for w in range(workers):
+        print("  worker %d received %d" % (w, machine.read_word(base + 4 * w)))
+    lags = [consumed - ready for consumed, (ready, _v)
+            in zip(device.consumed_at, device.events)]
+    print("  controller picked each value up %s cycles after it was ready"
+          % lags)
+    print("  total: %d cycles, %d retired" % (stats.cycles, stats.retired))
+
+    print("--- §6: DMA fill + token synchronisation ---")
+    words = 8
+    stream = [100 * c + i for c in range(CORES) for i in range(words)]
+    program, machine, _device, stats = run(
+        dma_source(CORES, words), stream, period=15)
+    base = program.symbol("sums")
+    for c in range(CORES):
+        print("  consumer %d: local-chunk sum = %d"
+              % (c, machine.read_word(base + 4 * c)))
+    print("  total: %d cycles, %d retired, %d remote accesses"
+          % (stats.cycles, stats.retired, stats.remote_accesses))
+    print("  (the consumers' data reads were all core-local after the DMA)")
+
+
+if __name__ == "__main__":
+    main()

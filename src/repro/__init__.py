@@ -1,0 +1,24 @@
+"""Deterministic OpenMP and the LBP parallelizing manycore processor.
+
+A full software reproduction of Goossens, Louetsi & Parello's PACT 2021
+paper: the PISC/X_PAR instruction-set extension, a two-pass assembler, the
+DetC compiler (a C subset with ``#pragma omp`` lowered to hardware hart
+teams), a cycle-accurate simulator of the 4-to-64-core LBP machine, a
+validated fast simulator for paper-scale runs, the comparison baselines,
+and the benchmark harness that regenerates every figure of the paper's
+evaluation.
+
+Start with::
+
+    from repro.compiler import compile_to_program
+    from repro.machine import LBP, Params
+
+    program = compile_to_program(C_SOURCE_WITH_OMP_PRAGMAS)
+    stats = LBP(Params(num_cores=4)).load(program).run()
+
+or the command line: ``python -m repro run prog.c --cores 4``.
+
+See README.md for the tour and DESIGN.md for the architecture.
+"""
+
+__version__ = "1.0.0"

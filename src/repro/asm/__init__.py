@@ -1,0 +1,16 @@
+"""Two-pass assembler for RV32IM + X_PAR.
+
+Accepts the GNU-flavoured syntax used in the paper's listings (figures
+6-8): labels, ``lw ra, 0(sp)`` addressing, ``.text``/``.data``/``.bank``
+directives, ``%hi``/``%lo`` relocations and the usual RISC-V pseudo
+instructions (``li``, ``la``, ``mv``, ``call``, ``ret``, ``j`` ... plus the
+paper's ``p_ret``).
+
+Entry point: :func:`assemble` (source text → :class:`Program`).
+"""
+
+from repro.asm.errors import AsmError
+from repro.asm.assembler import assemble
+from repro.asm.program import Program
+
+__all__ = ["AsmError", "Program", "assemble"]

@@ -1,0 +1,608 @@
+"""The two-pass assembler.
+
+Pass 1 parses every line, expands pseudo-instructions, assigns addresses
+(all real instructions are 4 bytes, so sizes are known immediately) and
+binds labels.  Pass 2 evaluates operand expressions against the completed
+symbol table, builds decoded :class:`Instruction` objects, encodes them to
+binary and materialises data segments.
+"""
+
+from repro import memmap
+from repro.asm.errors import AsmError
+from repro.asm.expr import ExprParser, eval_expr, try_fold, hi20, lo12
+from repro.asm.lexer import tokenize_line
+from repro.asm.program import Program, Segment
+from repro.isa.encoding import encode_instruction, sign_extend
+from repro.isa.instruction import Instruction
+from repro.isa.registers import is_register_name, reg_num
+from repro.isa.spec import INSTR_SPECS
+
+_ZERO = ("num", 0)
+
+
+class _Operands:
+    """Cursor over one line's operand tokens."""
+
+    def __init__(self, tokens, pos, line, source_name):
+        self.tokens = tokens
+        self.pos = pos
+        self.line = line
+        self.source_name = source_name
+
+    def error(self, message):
+        raise AsmError(message, self.line, self.source_name)
+
+    def peek(self):
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def at_end(self):
+        return self.pos >= len(self.tokens)
+
+    def end(self):
+        if not self.at_end():
+            self.error("trailing tokens after instruction")
+
+    def comma(self):
+        tok = self.peek()
+        if tok is None or tok.kind != "PUNCT" or tok.value != ",":
+            self.error("expected ','")
+        self.pos += 1
+
+    def reg(self):
+        tok = self.peek()
+        if tok is None or tok.kind != "IDENT" or not is_register_name(tok.value):
+            self.error("expected register, got %r" % (tok.value if tok else "end"))
+        self.pos += 1
+        return reg_num(tok.value)
+
+    def looks_like_reg(self):
+        tok = self.peek()
+        return tok is not None and tok.kind == "IDENT" and is_register_name(tok.value)
+
+    def expr(self):
+        parser = ExprParser(self.tokens, self.pos, self.line, self.source_name)
+        node = parser.parse()
+        self.pos = parser.pos
+        return node
+
+    def mem(self):
+        """Parse ``imm(reg)`` (imm optional) → (expr, reg)."""
+        tok = self.peek()
+        offset = _ZERO
+        if not (tok is not None and tok.kind == "PUNCT" and tok.value == "("
+                and self._paren_is_base()):
+            offset = self.expr()
+        tok = self.peek()
+        if tok is None or tok.kind != "PUNCT" or tok.value != "(":
+            self.error("expected '(' of memory operand")
+        self.pos += 1
+        base = self.reg()
+        tok = self.peek()
+        if tok is None or tok.kind != "PUNCT" or tok.value != ")":
+            self.error("expected ')' of memory operand")
+        self.pos += 1
+        return offset, base
+
+    def _paren_is_base(self):
+        """True when the '(' at the cursor opens a base-register group."""
+        if self.pos + 2 < len(self.tokens):
+            reg_tok = self.tokens[self.pos + 1]
+            close = self.tokens[self.pos + 2]
+            return (
+                reg_tok.kind == "IDENT"
+                and is_register_name(reg_tok.value)
+                and close.kind == "PUNCT"
+                and close.value == ")"
+            )
+        return False
+
+
+class _Instr:
+    """A pending instruction: fields plus unresolved operand expressions."""
+
+    __slots__ = ("mnemonic", "rd", "rs1", "rs2", "expr", "mode", "addr", "line")
+
+    def __init__(self, mnemonic, rd=0, rs1=0, rs2=0, expr=None, mode="abs"):
+        self.mnemonic = mnemonic
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.expr = expr if expr is not None else _ZERO
+        self.mode = mode  # "abs" or "rel" (pc-relative)
+        self.addr = None
+        self.line = None
+
+
+RA, SP, T0, ZERO = reg_num("ra"), reg_num("sp"), reg_num("t0"), 0
+
+
+def _expand_li(ops):
+    rd = ops.reg()
+    ops.comma()
+    expr = ops.expr()
+    ops.end()
+    value = try_fold(expr)
+    if value is not None:
+        value = sign_extend(value & 0xFFFFFFFF, 32)
+        if -2048 <= value <= 2047:
+            return [_Instr("addi", rd=rd, rs1=ZERO, expr=("num", value))]
+        out = [_Instr("lui", rd=rd, expr=("num", hi20(value)))]
+        low = lo12(value)
+        if low:
+            out.append(_Instr("addi", rd=rd, rs1=rd, expr=("num", low)))
+        return out
+    return [
+        _Instr("lui", rd=rd, expr=("hi", expr)),
+        _Instr("addi", rd=rd, rs1=rd, expr=("lo", expr)),
+    ]
+
+
+def _expand_la(ops):
+    rd = ops.reg()
+    ops.comma()
+    expr = ops.expr()
+    ops.end()
+    return [
+        _Instr("lui", rd=rd, expr=("hi", expr)),
+        _Instr("addi", rd=rd, rs1=rd, expr=("lo", expr)),
+    ]
+
+
+def _expand_jal(ops):
+    first = ops.reg() if ops.looks_like_reg() else None
+    if first is not None and not ops.at_end():
+        ops.comma()
+        expr = ops.expr()
+        ops.end()
+        return [_Instr("jal", rd=first, expr=expr, mode="rel")]
+    if first is not None:
+        # "jal rs" would be odd; treat a bare register as an error.
+        ops.error("jal needs a target label")
+    expr = ops.expr()
+    ops.end()
+    return [_Instr("jal", rd=RA, expr=expr, mode="rel")]
+
+
+def _expand_jalr(ops):
+    first = ops.reg()
+    if ops.at_end():
+        return [_Instr("jalr", rd=RA, rs1=first, expr=_ZERO)]
+    ops.comma()
+    if ops.looks_like_reg():
+        rs1 = ops.reg()
+        ops.comma()
+        expr = ops.expr()
+        ops.end()
+        return [_Instr("jalr", rd=first, rs1=rs1, expr=expr)]
+    offset, base = ops.mem()
+    ops.end()
+    return [_Instr("jalr", rd=first, rs1=base, expr=offset)]
+
+
+def _unary_pseudo(real, rs1_from, rs2_from, imm=None):
+    """Build an expander for `op rd, rs` one-source pseudos."""
+
+    def expand(ops):
+        rd = ops.reg()
+        ops.comma()
+        rs = ops.reg()
+        ops.end()
+        ins = _Instr(real, rd=rd, expr=("num", imm or 0))
+        if rs1_from == "rs":
+            ins.rs1 = rs
+        if rs2_from == "rs":
+            ins.rs2 = rs
+        return [ins]
+
+    return expand
+
+
+def _branch_zero(real, reg_field):
+    def expand(ops):
+        rs = ops.reg()
+        ops.comma()
+        expr = ops.expr()
+        ops.end()
+        ins = _Instr(real, expr=expr, mode="rel")
+        setattr(ins, reg_field, rs)
+        return [ins]
+
+    return expand
+
+
+def _branch_swapped(real):
+    def expand(ops):
+        a = ops.reg()
+        ops.comma()
+        b = ops.reg()
+        ops.comma()
+        expr = ops.expr()
+        ops.end()
+        return [_Instr(real, rs1=b, rs2=a, expr=expr, mode="rel")]
+
+    return expand
+
+
+def _fixed(*protos):
+    def expand(ops):
+        ops.end()
+        return [
+            _Instr(mn, rd=rd, rs1=rs1, rs2=rs2, expr=_ZERO)
+            for (mn, rd, rs1, rs2) in protos
+        ]
+
+    return expand
+
+
+def _expand_j(ops):
+    expr = ops.expr()
+    ops.end()
+    return [_Instr("jal", rd=ZERO, expr=expr, mode="rel")]
+
+
+def _expand_call(ops):
+    expr = ops.expr()
+    ops.end()
+    return [_Instr("jal", rd=RA, expr=expr, mode="rel")]
+
+
+def _expand_tail(ops):
+    expr = ops.expr()
+    ops.end()
+    return [_Instr("jal", rd=ZERO, expr=expr, mode="rel")]
+
+
+def _expand_jr(ops):
+    rs = ops.reg()
+    ops.end()
+    return [_Instr("jalr", rd=ZERO, rs1=rs, expr=_ZERO)]
+
+
+_PSEUDOS = {
+    "nop": _fixed(("addi", 0, 0, 0)),
+    "li": _expand_li,
+    "la": _expand_la,
+    "mv": _unary_pseudo("addi", "rs", None),
+    "not": _unary_pseudo("xori", "rs", None, imm=-1),
+    "neg": _unary_pseudo("sub", None, "rs"),
+    "seqz": _unary_pseudo("sltiu", "rs", None, imm=1),
+    "snez": _unary_pseudo("sltu", None, "rs"),
+    "sltz": _unary_pseudo("slt", "rs", None),
+    "sgtz": _unary_pseudo("slt", None, "rs"),
+    "beqz": _branch_zero("beq", "rs1"),
+    "bnez": _branch_zero("bne", "rs1"),
+    "bgez": _branch_zero("bge", "rs1"),
+    "bltz": _branch_zero("blt", "rs1"),
+    "blez": _branch_zero("bge", "rs2"),
+    "bgtz": _branch_zero("blt", "rs2"),
+    "bgt": _branch_swapped("blt"),
+    "ble": _branch_swapped("bge"),
+    "bgtu": _branch_swapped("bltu"),
+    "bleu": _branch_swapped("bgeu"),
+    "j": _expand_j,
+    "jal": _expand_jal,
+    "jalr": _expand_jalr,
+    "jr": _expand_jr,
+    "call": _expand_call,
+    "tail": _expand_tail,
+    "ret": _fixed(("jalr", 0, RA, 0)),
+    "p_ret": _fixed(("p_jalr", 0, RA, T0)),
+}
+
+# `not` negates with xori -1; patch its immediate handling:
+
+
+def _parse_real(mnemonic, spec, ops):
+    shape = spec.operands
+    ins = _Instr(mnemonic)
+    if shape == "":
+        ops.end()
+        return [ins]
+    if shape == "rd":
+        ins.rd = ops.reg()
+    elif shape == "rd,rs1":
+        ins.rd = ops.reg()
+        ops.comma()
+        ins.rs1 = ops.reg()
+    elif shape == "rd,rs1,rs2":
+        ins.rd = ops.reg()
+        ops.comma()
+        ins.rs1 = ops.reg()
+        ops.comma()
+        ins.rs2 = ops.reg()
+    elif shape == "rd,rs1,imm":
+        ins.rd = ops.reg()
+        ops.comma()
+        ins.rs1 = ops.reg()
+        ops.comma()
+        ins.expr = ops.expr()
+    elif shape == "rd,imm":
+        ins.rd = ops.reg()
+        ops.comma()
+        ins.expr = ops.expr()
+    elif shape == "rd,imm(rs1)":
+        ins.rd = ops.reg()
+        ops.comma()
+        ins.expr, ins.rs1 = ops.mem()
+    elif shape == "rs2,imm(rs1)":
+        ins.rs2 = ops.reg()
+        ops.comma()
+        ins.expr, ins.rs1 = ops.mem()
+    elif shape == "rs1,rs2,imm":
+        ins.rs1 = ops.reg()
+        ops.comma()
+        ins.rs2 = ops.reg()
+        ops.comma()
+        ins.expr = ops.expr()
+    elif shape == "rd,label":
+        ins.rd = ops.reg()
+        ops.comma()
+        ins.expr = ops.expr()
+        ins.mode = "rel"
+    elif shape == "rs1,rs2,label":
+        ins.rs1 = ops.reg()
+        ops.comma()
+        ins.rs2 = ops.reg()
+        ops.comma()
+        ins.expr = ops.expr()
+        ins.mode = "rel"
+    elif shape == "rd,rs1,label":
+        ins.rd = ops.reg()
+        ops.comma()
+        ins.rs1 = ops.reg()
+        ops.comma()
+        ins.expr = ops.expr()
+        ins.mode = "rel"
+    else:
+        raise AssertionError("unhandled shape %r" % (shape,))
+    ops.end()
+    if ins.expr is None:
+        ins.expr = _ZERO
+    return [ins]
+
+
+class Assembler:
+    """Assembles one translation unit into a :class:`Program`."""
+
+    def __init__(self, source_name="<asm>", default_bank=0):
+        self.source_name = source_name
+        self.symbols = {}
+        self.equs = []  # deferred (name, expr, line)
+        self.instr_items = []
+        self.data_items = []  # (bank, addr, kind, payload, line)
+        self.code_cursor = memmap.CODE_BASE
+        self.data_cursors = {}
+        self.section = "text"
+        self.bank = default_bank
+        self.line = 0
+
+    # ---- pass 1 -----------------------------------------------------------
+
+    def _error(self, message):
+        raise AsmError(message, self.line, self.source_name)
+
+    def _data_cursor(self):
+        if self.bank not in self.data_cursors:
+            self.data_cursors[self.bank] = memmap.global_bank_base(self.bank)
+        return self.data_cursors[self.bank]
+
+    def _advance_data(self, nbytes):
+        self.data_cursors[self.bank] = self._data_cursor() + nbytes
+
+    def _bind_label(self, name):
+        if name in self.symbols:
+            self._error("duplicate label %r" % name)
+        if self.section == "text":
+            self.symbols[name] = self.code_cursor
+        else:
+            self.symbols[name] = self._data_cursor()
+
+    def _emit_instrs(self, pending):
+        if self.section != "text":
+            self._error("instruction outside .text")
+        for item in pending:
+            item.addr = self.code_cursor
+            item.line = self.line
+            self.instr_items.append(item)
+            self.code_cursor += 4
+
+    def _emit_data(self, kind, payload, size):
+        if self.section == "text":
+            self._error("data directive inside .text")
+        addr = self._data_cursor()
+        self.data_items.append((self.bank, addr, kind, payload, self.line))
+        self._advance_data(size)
+
+    def _directive(self, name, ops):
+        if name == ".text":
+            ops.end()
+            self.section = "text"
+        elif name in (".data", ".bss", ".rodata"):
+            ops.end()
+            self.section = "data"
+        elif name == ".bank":
+            expr = ops.expr()
+            ops.end()
+            bank = try_fold(expr)
+            if bank is None or bank < 0:
+                self._error(".bank needs a constant bank number")
+            self.section = "data"
+            self.bank = bank
+        elif name == ".word":
+            self._data_list(ops, 4)
+        elif name == ".half":
+            self._data_list(ops, 2)
+        elif name == ".byte":
+            self._data_list(ops, 1)
+        elif name == ".space":
+            expr = ops.expr()
+            fill = 0
+            if not ops.at_end():
+                ops.comma()
+                fill_expr = ops.expr()
+                fill = try_fold(fill_expr)
+                if fill is None:
+                    self._error(".space fill must be constant")
+            ops.end()
+            size = try_fold(expr)
+            if size is None or size < 0:
+                self._error(".space needs a constant size")
+            self._emit_data("fill", (size, fill & 0xFF), size)
+        elif name == ".align":
+            expr = ops.expr()
+            ops.end()
+            power = try_fold(expr)
+            if power is None or not 0 <= power <= 20:
+                self._error(".align needs a small constant")
+            alignment = 1 << power
+            if self.section == "text":
+                while self.code_cursor % alignment:
+                    self._emit_instrs([_Instr("addi", expr=_ZERO)])
+            else:
+                cursor = self._data_cursor()
+                pad = -cursor % alignment
+                if pad:
+                    self._emit_data("fill", (pad, 0), pad)
+        elif name in (".ascii", ".asciz"):
+            tok = ops.peek()
+            if tok is None or tok.kind != "STR":
+                self._error("%s needs a string" % name)
+            ops.pos += 1
+            ops.end()
+            raw = tok.value.encode("latin-1")
+            if name == ".asciz":
+                raw += b"\0"
+            self._emit_data("bytes", raw, len(raw))
+        elif name in (".equ", ".set"):
+            tok = ops.peek()
+            if tok is None or tok.kind != "IDENT":
+                self._error("%s needs a symbol name" % name)
+            ops.pos += 1
+            ops.comma()
+            expr = ops.expr()
+            ops.end()
+            self.equs.append((tok.value, expr, self.line))
+        elif name in (".globl", ".global", ".type", ".size", ".section",
+                      ".option", ".file", ".p2align", ".comm", ".ident"):
+            ops.pos = len(ops.tokens)  # accepted and ignored
+        else:
+            self._error("unknown directive %r" % name)
+
+    def _data_list(self, ops, size):
+        exprs = [ops.expr()]
+        while not ops.at_end():
+            ops.comma()
+            exprs.append(ops.expr())
+        self._emit_data("words", (size, exprs), size * len(exprs))
+
+    def feed_line(self, text):
+        self.line += 1
+        tokens = tokenize_line(text, self.line, self.source_name)
+        pos = 0
+        # labels: IDENT ':' (may repeat)
+        while (
+            pos + 1 < len(tokens)
+            and tokens[pos].kind == "IDENT"
+            and tokens[pos + 1].kind == "PUNCT"
+            and tokens[pos + 1].value == ":"
+        ):
+            self._bind_label(tokens[pos].value)
+            pos += 2
+        if pos >= len(tokens):
+            return
+        head = tokens[pos]
+        if head.kind != "IDENT":
+            self._error("expected mnemonic or directive")
+        ops = _Operands(tokens, pos + 1, self.line, self.source_name)
+        name = head.value
+        if name.startswith("."):
+            self._directive(name, ops)
+            return
+        mnemonic = name.lower()
+        if mnemonic in _PSEUDOS:
+            self._emit_instrs(_PSEUDOS[mnemonic](ops))
+            return
+        spec = INSTR_SPECS.get(mnemonic)
+        if spec is None:
+            self._error("unknown mnemonic %r" % name)
+        self._emit_instrs(_parse_real(mnemonic, spec, ops))
+
+    # ---- pass 2 -----------------------------------------------------------
+
+    def _resolve_equs(self):
+        pending = list(self.equs)
+        progress = True
+        while pending and progress:
+            progress = False
+            remaining = []
+            for name, expr, line in pending:
+                try:
+                    value = eval_expr(expr, self.symbols, line, self.source_name)
+                except AsmError:
+                    remaining.append((name, expr, line))
+                    continue
+                if name in self.symbols:
+                    raise AsmError("duplicate symbol %r" % name, line, self.source_name)
+                self.symbols[name] = value
+                progress = True
+            pending = remaining
+        if pending:
+            name, _, line = pending[0]
+            raise AsmError("unresolvable .equ %r" % name, line, self.source_name)
+
+    def finish(self):
+        self._resolve_equs()
+        program = Program()
+        program.source_name = self.source_name
+        program.symbols = dict(self.symbols)
+
+        code = bytearray()
+        for item in self.instr_items:
+            value = eval_expr(item.expr, self.symbols, item.line, self.source_name)
+            imm = value - item.addr if item.mode == "rel" else value
+            spec = INSTR_SPECS[item.mnemonic]
+            ins = Instruction(
+                item.mnemonic, rd=item.rd, rs1=item.rs1, rs2=item.rs2,
+                imm=imm, spec=spec, addr=item.addr,
+            )
+            try:
+                word = encode_instruction(ins)
+            except ValueError as exc:
+                raise AsmError(str(exc), item.line, self.source_name) from None
+            code += word.to_bytes(4, "little")
+            program.instructions[item.addr] = ins
+        if code:
+            program.segments.append(Segment("code", None, memmap.CODE_BASE, code))
+
+        banks = {}
+        for bank, addr, kind, payload, line in self.data_items:
+            base = memmap.global_bank_base(bank)
+            buf = banks.setdefault(bank, bytearray())
+            offset = addr - base
+            if len(buf) < offset:
+                buf.extend(b"\0" * (offset - len(buf)))
+            if kind == "fill":
+                size, fill = payload
+                buf.extend(bytes([fill]) * size)
+            elif kind == "bytes":
+                buf.extend(payload)
+            elif kind == "words":
+                size, exprs = payload
+                for expr in exprs:
+                    value = eval_expr(expr, self.symbols, line, self.source_name)
+                    buf.extend((value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"))
+            else:
+                raise AssertionError(kind)
+        for bank in sorted(banks):
+            program.segments.append(
+                Segment("data", bank, memmap.global_bank_base(bank), banks[bank])
+            )
+        return program
+
+
+def assemble(source, source_name="<asm>", default_bank=0):
+    """Assemble *source* text into a :class:`Program`."""
+    assembler = Assembler(source_name, default_bank)
+    for raw_line in source.splitlines():
+        assembler.feed_line(raw_line)
+    return assembler.finish()

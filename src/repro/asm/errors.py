@@ -1,0 +1,24 @@
+"""Assembler error type with source-position context."""
+
+
+class AsmError(Exception):
+    """A syntax or semantic error in assembly source.
+
+    Attributes:
+        message: bare description.
+        line: 1-based source line number (or None).
+        source_name: file or unit name (or None).
+    """
+
+    def __init__(self, message, line=None, source_name=None):
+        self.message = message
+        self.line = line
+        self.source_name = source_name
+        location = ""
+        if source_name is not None:
+            location += "%s:" % source_name
+        if line is not None:
+            location += "%d:" % line
+        if location:
+            location += " "
+        super().__init__(location + message)

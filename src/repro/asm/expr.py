@@ -1,0 +1,173 @@
+"""Operand expressions: parsing and evaluation.
+
+Expressions appear in immediate operands and data directives.  Grammar
+(loosest binding first)::
+
+    expr   := or
+    or     := xor ('|' xor)*
+    xor    := and ('^' and)*
+    and    := shift ('&' shift)*
+    shift  := sum ('<<'|'>>' sum)*
+    sum    := term (('+'|'-') term)*
+    term   := unary (('*'|'/') unary)*
+    unary  := ('-'|'~')* atom
+    atom   := NUM | IDENT | '%hi' '(' expr ')' | '%lo' '(' expr ')'
+            | '(' expr ')'
+
+Expression nodes are plain tuples: ``("num", v)``, ``("sym", name)``,
+``("bin", op, lhs, rhs)``, ``("neg", e)``, ``("inv", e)``, ``("hi", e)``,
+``("lo", e)``.
+"""
+
+from repro.asm.errors import AsmError
+from repro.isa.encoding import sign_extend
+
+_BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a // b if b else 0,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+}
+
+_LEVELS = [["|"], ["^"], ["&"], ["<<", ">>"], ["+", "-"], ["*", "/"]]
+
+
+class ExprParser:
+    """Parses one expression from a token stream (shared cursor)."""
+
+    def __init__(self, tokens, pos, line=None, source_name=None):
+        self.tokens = tokens
+        self.pos = pos
+        self.line = line
+        self.source_name = source_name
+
+    def _peek(self):
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return None
+
+    def _error(self, message):
+        raise AsmError(message, self.line, self.source_name)
+
+    def parse(self, level=0):
+        if level == len(_LEVELS):
+            return self._unary()
+        node = self.parse(level + 1)
+        while True:
+            tok = self._peek()
+            if tok is None or tok.kind != "PUNCT" or tok.value not in _LEVELS[level]:
+                return node
+            self.pos += 1
+            rhs = self.parse(level + 1)
+            node = ("bin", tok.value, node, rhs)
+
+    def _unary(self):
+        tok = self._peek()
+        if tok is not None and tok.kind == "PUNCT" and tok.value == "-":
+            self.pos += 1
+            return ("neg", self._unary())
+        if tok is not None and tok.kind == "PUNCT" and tok.value == "~":
+            self.pos += 1
+            return ("inv", self._unary())
+        if tok is not None and tok.kind == "PUNCT" and tok.value == "+":
+            self.pos += 1
+            return self._unary()
+        return self._atom()
+
+    def _atom(self):
+        tok = self._peek()
+        if tok is None:
+            self._error("expected expression")
+        if tok.kind == "NUM":
+            self.pos += 1
+            return ("num", tok.value)
+        if tok.kind == "IDENT":
+            name = tok.value
+            if name in ("%hi", "%lo"):
+                self.pos += 1
+                self._expect_punct("(")
+                inner = self.parse()
+                self._expect_punct(")")
+                return ("hi" if name == "%hi" else "lo", inner)
+            self.pos += 1
+            return ("sym", name)
+        if tok.kind == "PUNCT" and tok.value == "(":
+            self.pos += 1
+            inner = self.parse()
+            self._expect_punct(")")
+            return inner
+        self._error("unexpected token %r in expression" % (tok.value,))
+
+    def _expect_punct(self, value):
+        tok = self._peek()
+        if tok is None or tok.kind != "PUNCT" or tok.value != value:
+            self._error("expected %r" % value)
+        self.pos += 1
+
+
+def hi20(value):
+    """The %hi relocation: upper 20 bits, adjusted for signed %lo."""
+    return ((value + 0x800) >> 12) & 0xFFFFF
+
+
+def lo12(value):
+    """The %lo relocation: signed low 12 bits."""
+    return sign_extend(value & 0xFFF, 12)
+
+
+def eval_expr(node, symbols, line=None, source_name=None):
+    """Evaluate an expression node against a symbol table."""
+    kind = node[0]
+    if kind == "num":
+        return node[1]
+    if kind == "sym":
+        name = node[1]
+        if name not in symbols:
+            raise AsmError("undefined symbol %r" % name, line, source_name)
+        return symbols[name]
+    if kind == "bin":
+        lhs = eval_expr(node[2], symbols, line, source_name)
+        rhs = eval_expr(node[3], symbols, line, source_name)
+        return _BINOPS[node[1]](lhs, rhs)
+    if kind == "neg":
+        return -eval_expr(node[1], symbols, line, source_name)
+    if kind == "inv":
+        return ~eval_expr(node[1], symbols, line, source_name)
+    if kind == "hi":
+        return hi20(eval_expr(node[1], symbols, line, source_name))
+    if kind == "lo":
+        return lo12(eval_expr(node[1], symbols, line, source_name))
+    raise AssertionError("bad expression node %r" % (node,))
+
+
+def try_fold(node):
+    """Evaluate a symbol-free expression, or return None if it has symbols."""
+    kind = node[0]
+    if kind == "num":
+        return node[1]
+    if kind == "sym":
+        return None
+    if kind == "bin":
+        lhs = try_fold(node[2])
+        rhs = try_fold(node[3])
+        if lhs is None or rhs is None:
+            return None
+        return _BINOPS[node[1]](lhs, rhs)
+    if kind == "neg":
+        inner = try_fold(node[1])
+        return None if inner is None else -inner
+    if kind == "inv":
+        inner = try_fold(node[1])
+        return None if inner is None else ~inner
+    if kind == "hi":
+        inner = try_fold(node[1])
+        return None if inner is None else hi20(inner)
+    if kind == "lo":
+        inner = try_fold(node[1])
+        return None if inner is None else lo12(inner)
+    raise AssertionError("bad expression node %r" % (node,))

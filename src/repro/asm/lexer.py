@@ -1,0 +1,124 @@
+"""Line lexer for assembly source.
+
+Splits one logical line into tokens.  Token kinds:
+
+* ``IDENT``  — mnemonics, labels, symbols, register names, directives
+  (directives keep their leading dot), ``%hi`` / ``%lo`` keep the percent.
+* ``NUM``    — integer literal (decimal, ``0x`` hex, ``0b`` binary, octal,
+  or character constant), value already converted.
+* ``PUNCT``  — one of ``, ( ) : + - * / << >> &  | ^ ~``.
+* ``STR``    — double-quoted string (value unescaped).
+"""
+
+from repro.asm.errors import AsmError
+
+PUNCT_TWO = ("<<", ">>")
+PUNCT_ONE = ",():+-*/&|^~"
+
+_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "0": "\0",
+    "\\": "\\", "'": "'", '"': '"',
+}
+
+
+class Token:
+    __slots__ = ("kind", "value", "col")
+
+    def __init__(self, kind, value, col):
+        self.kind = kind
+        self.value = value
+        self.col = col
+
+    def __repr__(self):
+        return "Token(%s, %r)" % (self.kind, self.value)
+
+
+def _is_ident_start(ch):
+    return ch.isalpha() or ch in "._$%"
+
+
+def _is_ident(ch):
+    return ch.isalnum() or ch in "._$"
+
+
+def tokenize_line(text, line=None, source_name=None):
+    """Tokenize one source line (comments already allowed in-line)."""
+    tokens = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t":
+            i += 1
+            continue
+        if ch == "#" or text.startswith("//", i):
+            break  # comment to end of line
+        col = i
+        if text.startswith("<<", i) or text.startswith(">>", i):
+            tokens.append(Token("PUNCT", text[i : i + 2], col))
+            i += 2
+            continue
+        if ch in PUNCT_ONE:
+            tokens.append(Token("PUNCT", ch, col))
+            i += 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            literal = text[i:j].replace("_", "")
+            try:
+                if len(literal) > 1 and literal[0] == "0" and literal[1] in "01234567":
+                    value = int(literal, 8)  # GNU-as-style octal
+                else:
+                    value = int(literal, 0)
+            except ValueError:
+                raise AsmError("bad numeric literal %r" % literal, line, source_name)
+            tokens.append(Token("NUM", value, col))
+            i = j
+            continue
+        if ch == "'":
+            j = i + 1
+            if j < n and text[j] == "\\":
+                if j + 2 >= n or text[j + 2] != "'":
+                    raise AsmError("bad character literal", line, source_name)
+                escaped = _ESCAPES.get(text[j + 1])
+                if escaped is None:
+                    raise AsmError("bad escape %r" % text[j + 1], line, source_name)
+                tokens.append(Token("NUM", ord(escaped), col))
+                i = j + 3
+            else:
+                if j + 1 >= n or text[j + 1] != "'":
+                    raise AsmError("bad character literal", line, source_name)
+                tokens.append(Token("NUM", ord(text[j]), col))
+                i = j + 2
+            continue
+        if ch == '"':
+            j = i + 1
+            parts = []
+            while j < n and text[j] != '"':
+                if text[j] == "\\":
+                    if j + 1 >= n:
+                        raise AsmError("unterminated string", line, source_name)
+                    escaped = _ESCAPES.get(text[j + 1])
+                    if escaped is None:
+                        raise AsmError("bad escape %r" % text[j + 1], line, source_name)
+                    parts.append(escaped)
+                    j += 2
+                else:
+                    parts.append(text[j])
+                    j += 1
+            if j >= n:
+                raise AsmError("unterminated string", line, source_name)
+            tokens.append(Token("STR", "".join(parts), col))
+            i = j + 1
+            continue
+        if _is_ident_start(ch):
+            j = i + 1
+            while j < n and _is_ident(text[j]):
+                j += 1
+            tokens.append(Token("IDENT", text[i:j], col))
+            i = j
+            continue
+        raise AsmError("unexpected character %r" % ch, line, source_name)
+    return tokens

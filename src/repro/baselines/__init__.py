@@ -1,0 +1,16 @@
+"""Comparison baselines.
+
+* :mod:`repro.baselines.classic_smp` — a classic interrupt-driven,
+  OS-scheduled SMP model used to contrast LBP's cycle determinism
+  (experiment E4): same work, same results, but timer interrupts,
+  seeded scheduling jitter and thread migrations make every run's timing
+  different.
+* :mod:`repro.baselines.xeonphi` — an analytic Knights-Landing-class
+  model standing in for the paper's physical Xeon Phi 7210 (figure 21's
+  rightmost bars).
+"""
+
+from repro.baselines.classic_smp import ClassicSMP
+from repro.baselines.xeonphi import XeonPhiModel
+
+__all__ = ["ClassicSMP", "XeonPhiModel"]

@@ -1,0 +1,157 @@
+"""A classic OS-scheduled SMP timing model (the determinism contrast).
+
+The paper's introduction argues that on a conventional multicore stack —
+preemptive OS scheduler, timer interrupts, cache-coherent memory,
+migrations — the *timing* of a parallel run is not repeatable even when
+its *result* is, which is why "measuring a speedup is a complex and far
+from scientific process" and why real-time systems shy away from
+parallelism.
+
+This model makes that argument quantitative without rebuilding Linux: it
+schedules the same logical tasks (instruction counts taken from the LBP
+workload) on an N-core machine, but perturbs the timeline the way a real
+stack does, with a seeded RNG standing in for the machine state a real OS
+inherits from the environment (interrupt arrival phases, scheduling
+decisions, cache temperature):
+
+* a timer interrupt every ``timeslice`` ± jitter cycles steals
+  ``interrupt_cost`` cycles and may trigger a reschedule;
+* a rescheduled thread may migrate (probability ``migration_prob``),
+  paying ``migration_cost`` cycles of cache-warmup;
+* background OS noise steals short slices at random points.
+
+Two runs with the same seed are identical (the model itself is
+deterministic); two runs with different seeds — i.e. two *real* runs —
+differ in both total cycles and the event trace, while producing the same
+logical result.  Experiment E4 contrasts this with LBP, where repeated
+runs are cycle-identical *by construction*.
+"""
+
+import random
+
+
+class TaskResult:
+    __slots__ = ("task_id", "start", "end", "migrations", "interrupts")
+
+    def __init__(self, task_id):
+        self.task_id = task_id
+        self.start = None
+        self.end = None
+        self.migrations = 0
+        self.interrupts = 0
+
+
+class RunStats:
+    def __init__(self, cycles, tasks, trace):
+        self.cycles = cycles
+        self.tasks = tasks
+        self.trace = trace
+
+    @property
+    def migrations(self):
+        return sum(t.migrations for t in self.tasks)
+
+    @property
+    def interrupts(self):
+        return sum(t.interrupts for t in self.tasks)
+
+
+class ClassicSMP:
+    """N-core preemptive machine with seeded scheduling nondeterminism."""
+
+    def __init__(
+        self,
+        num_cores,
+        seed=0,
+        timeslice=10_000,
+        timeslice_jitter=0.2,
+        interrupt_cost=400,
+        migration_prob=0.15,
+        migration_cost=2_000,
+        noise_prob=0.05,
+        noise_cost=1_500,
+        ipc=1.0,
+    ):
+        self.num_cores = num_cores
+        self.seed = seed
+        self.timeslice = timeslice
+        self.timeslice_jitter = timeslice_jitter
+        self.interrupt_cost = interrupt_cost
+        self.migration_prob = migration_prob
+        self.migration_cost = migration_cost
+        self.noise_prob = noise_prob
+        self.noise_cost = noise_cost
+        self.ipc = ipc
+
+    def run_tasks(self, instruction_counts):
+        """Schedule tasks (given as instruction counts); returns RunStats.
+
+        Tasks are dealt round-robin to cores, then each core's timeline is
+        advanced with seeded interrupt/migration/noise perturbations.
+        Deterministic per (seed, inputs); different per seed.
+        """
+        rng = random.Random(self.seed)
+        tasks = [TaskResult(i) for i in range(len(instruction_counts))]
+        remaining = [count / self.ipc for count in instruction_counts]
+        core_time = [0.0] * self.num_cores
+        run_queue = list(range(len(instruction_counts)))
+        assignment = {tid: tid % self.num_cores for tid in run_queue}
+        trace = []
+
+        while run_queue:
+            # pick the earliest-available core that has work
+            tid = run_queue.pop(0)
+            core = assignment[tid]
+            now = core_time[core]
+            if tasks[tid].start is None:
+                tasks[tid].start = now
+                trace.append((now, core, "start", tid))
+            slice_len = self.timeslice * (
+                1.0 + self.timeslice_jitter * (2.0 * rng.random() - 1.0)
+            )
+            work = min(remaining[tid], slice_len)
+            now += work
+            remaining[tid] -= work
+            if remaining[tid] <= 0:
+                tasks[tid].end = now
+                trace.append((now, core, "end", tid))
+                core_time[core] = now
+                continue
+            # timer interrupt fires
+            tasks[tid].interrupts += 1
+            now += self.interrupt_cost
+            trace.append((now, core, "interrupt", tid))
+            if rng.random() < self.noise_prob:
+                now += self.noise_cost
+                trace.append((now, core, "os_noise", tid))
+            if rng.random() < self.migration_prob:
+                new_core = rng.randrange(self.num_cores)
+                if new_core != core:
+                    tasks[tid].migrations += 1
+                    assignment[tid] = new_core
+                    now += self.migration_cost
+                    trace.append((now, new_core, "migrate", tid))
+            core_time[core] = now
+            run_queue.append(tid)
+
+        total = max((t.end for t in tasks), default=0.0)
+        return RunStats(int(round(total)), tasks, trace)
+
+    def run_many(self, instruction_counts, runs):
+        """Paper-style methodology: many runs, report (min, avg, max)."""
+        cycles = []
+        for run_index in range(runs):
+            model = ClassicSMP(
+                self.num_cores,
+                seed=self.seed + run_index,
+                timeslice=self.timeslice,
+                timeslice_jitter=self.timeslice_jitter,
+                interrupt_cost=self.interrupt_cost,
+                migration_prob=self.migration_prob,
+                migration_cost=self.migration_cost,
+                noise_prob=self.noise_prob,
+                noise_cost=self.noise_cost,
+                ipc=self.ipc,
+            )
+            cycles.append(model.run_tasks(instruction_counts).cycles)
+        return min(cycles), sum(cycles) / len(cycles), max(cycles)

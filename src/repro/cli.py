@@ -1,0 +1,112 @@
+"""Command-line interface: compile, disassemble and run DetC programs.
+
+Usage (installed as ``python -m repro``):
+
+    python -m repro compile prog.c               # print assembly
+    python -m repro disasm prog.c                # print the final listing
+    python -m repro run prog.c --cores 4         # run, print statistics
+    python -m repro run prog.c --sim fast        # fast simulator
+    python -m repro run prog.c --trace --trace-limit 50
+    python -m repro run prog.c --print total,v:8 # dump globals after the run
+"""
+
+import argparse
+import sys
+
+from repro.asm import assemble
+from repro.compiler import compile_c
+from repro.fastsim import FastLBP
+from repro.isa.semantics import to_signed
+from repro.machine import LBP, Params
+
+
+def _read_source(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def _build_program(path):
+    if path.endswith(".s") or path.endswith(".S"):
+        return assemble(_read_source(path), path)
+    return assemble(compile_c(_read_source(path), path), path + ".s")
+
+
+def cmd_compile(args):
+    print(compile_c(_read_source(args.source), args.source))
+    return 0
+
+
+def cmd_disasm(args):
+    print(_build_program(args.source).disassembly())
+    return 0
+
+
+def cmd_run(args):
+    program = _build_program(args.source)
+    params = Params(num_cores=args.cores,
+                    trace_enabled=args.trace or args.timeline)
+    machine = FastLBP(params) if args.sim == "fast" else LBP(params)
+    machine.load(program)
+    stats = machine.run(max_cycles=args.max_cycles)
+
+    print("halt     :", getattr(machine, "halt_reason", "exit"))
+    print("cycles   :", stats.cycles)
+    print("retired  :", stats.retired)
+    print("IPC      : %.2f (peak %d)" % (stats.ipc, args.cores))
+    print("memory   : %d local, %d remote accesses"
+          % (stats.local_accesses, stats.remote_accesses))
+    print("teams    : %d forks, %d joins" % (stats.forks, stats.joins))
+
+    if args.print:
+        for spec in args.print.split(","):
+            name, _, count_text = spec.partition(":")
+            count = int(count_text) if count_text else 1
+            base = program.symbol(name.strip())
+            values = [to_signed(machine.read_word(base + 4 * i))
+                      for i in range(count)]
+            print("%-8s : %s" % (name.strip(), values if count > 1 else values[0]))
+
+    if args.timeline and hasattr(machine, "trace"):
+        from repro.machine.timeline import print_timeline
+
+        print("--- hart timeline ---")
+        print_timeline(machine)
+    if args.trace and hasattr(machine, "trace"):
+        print("--- trace (%d events) ---" % len(machine.trace))
+        for line in machine.trace.formatted(limit=args.trace_limit):
+            print(line)
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Deterministic OpenMP / LBP toolchain")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="DetC source → assembly")
+    p_compile.add_argument("source")
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_disasm = sub.add_parser("disasm", help="final instruction listing")
+    p_disasm.add_argument("source")
+    p_disasm.set_defaults(func=cmd_disasm)
+
+    p_run = sub.add_parser("run", help="simulate a program")
+    p_run.add_argument("source", help=".c (DetC) or .s (assembly) file")
+    p_run.add_argument("--cores", type=int, default=4)
+    p_run.add_argument("--sim", choices=("cycle", "fast"), default="cycle")
+    p_run.add_argument("--max-cycles", type=int, default=200_000_000)
+    p_run.add_argument("--trace", action="store_true")
+    p_run.add_argument("--trace-limit", type=int, default=100)
+    p_run.add_argument("--timeline", action="store_true",
+                       help="render per-hart activity lanes (implies traces)")
+    p_run.add_argument("--print", metavar="NAME[:N],...",
+                       help="dump globals after the run")
+    p_run.set_defaults(func=cmd_run)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

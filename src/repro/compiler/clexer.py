@@ -1,0 +1,127 @@
+"""C token stream for the DetC parser."""
+
+from repro.compiler.errors import CompileError
+
+KEYWORDS = frozenset(
+    """int unsigned char void struct typedef if else while for do break
+    continue return sizeof static const volatile signed long short
+    """.split()
+)
+
+_PUNCT3 = ("<<=", ">>=", "...")
+_PUNCT2 = (
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+)
+_PUNCT1 = "+-*/%&|^~!<>=?:;,.(){}[]"
+
+_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", "'": "'", '"': '"',
+}
+
+
+class Token:
+    __slots__ = ("kind", "value", "line")
+
+    def __init__(self, kind, value, line):
+        self.kind = kind
+        self.value = value
+        self.line = line
+
+    def __repr__(self):
+        return "Token(%s, %r, line=%d)" % (self.kind, self.value, self.line)
+
+
+def tokenize(source, source_name="<c>"):
+    """Tokenize preprocessed C source. Returns a list of Tokens + EOF."""
+    tokens = []
+    line = 1
+    i, n = 0, len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r\f\v":
+            i += 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            literal = source[i:j].rstrip("uUlL")
+            try:
+                if len(literal) > 1 and literal[0] == "0" and literal[1] in "01234567":
+                    value = int(literal, 8)  # C-style octal
+                else:
+                    value = int(literal, 0)
+            except ValueError:
+                raise CompileError(
+                    "bad numeric literal %r" % source[i:j], line, source_name
+                )
+            tokens.append(Token("NUM", value, line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            kind = "KW" if word in KEYWORDS else "ID"
+            tokens.append(Token(kind, word, line))
+            i = j
+            continue
+        if ch == "'":
+            j = i + 1
+            if j < n and source[j] == "\\":
+                if j + 2 >= n or source[j + 2] != "'":
+                    raise CompileError("bad character literal", line, source_name)
+                value = _ESCAPES.get(source[j + 1])
+                if value is None:
+                    raise CompileError(
+                        "bad escape %r" % source[j + 1], line, source_name
+                    )
+                tokens.append(Token("NUM", ord(value), line))
+                i = j + 3
+            else:
+                if j + 1 >= n or source[j + 1] != "'":
+                    raise CompileError("bad character literal", line, source_name)
+                tokens.append(Token("NUM", ord(source[j]), line))
+                i = j + 2
+            continue
+        if ch == '"':
+            j = i + 1
+            parts = []
+            while j < n and source[j] != '"':
+                if source[j] == "\\":
+                    escaped = _ESCAPES.get(source[j + 1]) if j + 1 < n else None
+                    if escaped is None:
+                        raise CompileError("bad string escape", line, source_name)
+                    parts.append(escaped)
+                    j += 2
+                else:
+                    parts.append(source[j])
+                    j += 1
+            if j >= n:
+                raise CompileError("unterminated string", line, source_name)
+            tokens.append(Token("STR", "".join(parts), line))
+            i = j + 1
+            continue
+        three = source[i : i + 3]
+        if three in _PUNCT3:
+            tokens.append(Token("PUNCT", three, line))
+            i += 3
+            continue
+        two = source[i : i + 2]
+        if two in _PUNCT2:
+            tokens.append(Token("PUNCT", two, line))
+            i += 2
+            continue
+        if ch in _PUNCT1:
+            tokens.append(Token("PUNCT", ch, line))
+            i += 1
+            continue
+        raise CompileError("unexpected character %r" % ch, line, source_name)
+    tokens.append(Token("EOF", None, line))
+    return tokens

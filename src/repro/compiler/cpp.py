@@ -1,0 +1,310 @@
+"""The DetC preprocessor.
+
+Supports what the paper's listings need:
+
+* ``//`` and ``/* */`` comments;
+* object-like and function-like ``#define`` / ``#undef`` with recursive
+  (fix-point) expansion and a self-reference guard;
+* ``#include <det_omp.h>`` (switches on the Deterministic OpenMP runtime)
+  and a whitelist of harmless standard headers that expand to nothing;
+* ``#ifdef`` / ``#ifndef`` / ``#else`` / ``#endif``;
+* ``#pragma omp parallel for`` / ``parallel sections`` / ``section``,
+  rewritten into the reserved markers ``__OMP_PARALLEL_FOR__``,
+  ``__OMP_PARALLEL_SECTIONS__`` and ``__OMP_SECTION__`` that the parser
+  understands.
+
+Output: the preprocessed source plus a flag telling whether det_omp.h was
+included.
+"""
+
+import re
+
+from repro.compiler.errors import CompileError
+
+_IGNORED_HEADERS = {"stdio.h", "stdlib.h", "string.h", "stdint.h", "omp.h"}
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+_REDUCTION_OPS = {"+": "add", "*": "mul", "&": "and", "|": "or", "^": "xor"}
+
+_PRAGMA_FOR_REDUCTION = re.compile(
+    r"^omp\s+parallel\s+for\s+reduction\s*\(\s*([+*&|^])\s*:\s*(\w+)\s*\)")
+
+_PRAGMA_MAP = [
+    (re.compile(r"^omp\s+parallel\s+for\b"), "__OMP_PARALLEL_FOR__"),
+    (re.compile(r"^omp\s+parallel\s+sections\b"), "__OMP_PARALLEL_SECTIONS__"),
+    (re.compile(r"^omp\s+section\b"), "__OMP_SECTION__"),
+]
+
+
+class Macro:
+    __slots__ = ("name", "params", "body")
+
+    def __init__(self, name, params, body):
+        self.name = name
+        self.params = params  # None = object-like
+        self.body = body
+
+
+def strip_comments(text):
+    """Remove // and /* */ comments (newlines inside /* */ preserved)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            if j < 0:
+                raise CompileError("unterminated /* comment")
+            out.append("\n" * text.count("\n", i, j + 2))
+            i = j + 2
+        elif ch in "'\"":
+            quote = ch
+            out.append(ch)
+            i += 1
+            while i < n and text[i] != quote:
+                out.append(text[i])
+                if text[i] == "\\" and i + 1 < n:
+                    out.append(text[i + 1])
+                    i += 1
+                i += 1
+            if i < n:
+                out.append(text[i])
+                i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+class Preprocessor:
+    def __init__(self, source_name="<c>", predefined=None):
+        self.source_name = source_name
+        self.macros = {}
+        self.det_omp_included = False
+        if predefined:
+            for name, value in predefined.items():
+                self.macros[name] = Macro(name, None, str(value))
+
+    # ---- macro expansion ----------------------------------------------------
+
+    def _expand(self, text, line, active=frozenset()):
+        """One full expansion pass over *text* (recursive per macro)."""
+        out = []
+        i, n = 0, len(text)
+        while i < n:
+            match = _IDENT.match(text, i)
+            if not match:
+                if text[i] in "'\"":
+                    j = self._skip_literal(text, i)
+                    out.append(text[i:j])
+                    i = j
+                else:
+                    out.append(text[i])
+                    i += 1
+                continue
+            name = match.group(0)
+            i = match.end()
+            macro = self.macros.get(name)
+            if macro is None or name in active:
+                out.append(name)
+                continue
+            if macro.params is None:
+                out.append(self._expand(macro.body, line, active | {name}))
+                continue
+            # function-like: require an argument list
+            j = i
+            while j < n and text[j] in " \t":
+                j += 1
+            if j >= n or text[j] != "(":
+                out.append(name)
+                continue
+            args, i = self._parse_args(text, j, line)
+            if args == [""] and len(macro.params) <= 1:
+                args = [""] * len(macro.params)  # F() — zero or one empty arg
+            if len(args) != len(macro.params):
+                raise CompileError(
+                    "macro %s expects %d arguments, got %d"
+                    % (name, len(macro.params), len(args)),
+                    line,
+                    self.source_name,
+                )
+            body = macro.body
+            expanded_args = [self._expand(a.strip(), line, active) for a in args]
+            replaced = self._substitute(body, macro.params, expanded_args)
+            out.append(self._expand(replaced, line, active | {name}))
+        return "".join(out)
+
+    @staticmethod
+    def _skip_literal(text, i):
+        quote = text[i]
+        j = i + 1
+        while j < len(text) and text[j] != quote:
+            if text[j] == "\\":
+                j += 1
+            j += 1
+        return min(j + 1, len(text))
+
+    def _parse_args(self, text, i, line):
+        """Parse a macro argument list starting at the '(' at *i*."""
+        depth = 0
+        args = []
+        current = []
+        j = i
+        while j < len(text):
+            ch = text[j]
+            if ch == "(":
+                depth += 1
+                if depth > 1:
+                    current.append(ch)
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    args.append("".join(current))
+                    return args, j + 1
+                current.append(ch)
+            elif ch == "," and depth == 1:
+                args.append("".join(current))
+                current = []
+            elif ch in "'\"":
+                k = self._skip_literal(text, j)
+                current.append(text[j:k])
+                j = k - 1
+            else:
+                current.append(ch)
+            j += 1
+        raise CompileError("unterminated macro arguments", line, self.source_name)
+
+    @staticmethod
+    def _substitute(body, params, args):
+        mapping = dict(zip(params, args))
+
+        def repl(match):
+            return mapping.get(match.group(0), match.group(0))
+
+        return _IDENT.sub(repl, body)
+
+    # ---- directives ----------------------------------------------------------
+
+    def _directive(self, stripped, line, skipping):
+        parts = stripped[1:].strip()
+        if parts.startswith("include"):
+            if skipping:
+                return None
+            target = parts[len("include"):].strip()
+            match = re.match(r'[<"]([^>"]+)[>"]', target)
+            if not match:
+                raise CompileError("bad #include", line, self.source_name)
+            header = match.group(1)
+            if header == "det_omp.h":
+                self.det_omp_included = True
+            elif header not in _IGNORED_HEADERS:
+                raise CompileError(
+                    "cannot include %r (no hosted environment on LBP)" % header,
+                    line,
+                    self.source_name,
+                )
+            return None
+        if parts.startswith("define"):
+            if skipping:
+                return None
+            rest = parts[len("define"):].strip()
+            match = _IDENT.match(rest)
+            if not match:
+                raise CompileError("bad #define", line, self.source_name)
+            name = match.group(0)
+            after = rest[match.end():]
+            if after.startswith("("):
+                close = after.find(")")
+                if close < 0:
+                    raise CompileError("bad macro parameters", line, self.source_name)
+                params = [p.strip() for p in after[1:close].split(",") if p.strip()]
+                body = after[close + 1:].strip()
+                self.macros[name] = Macro(name, params, body)
+            else:
+                self.macros[name] = Macro(name, None, after.strip())
+            return None
+        if parts.startswith("undef"):
+            if not skipping:
+                self.macros.pop(parts[len("undef"):].strip(), None)
+            return None
+        if parts.startswith("pragma"):
+            if skipping:
+                return None
+            pragma = parts[len("pragma"):].strip()
+            match = _PRAGMA_FOR_REDUCTION.match(pragma)
+            if match:
+                op, var = match.group(1), match.group(2)
+                return "__OMP_PARALLEL_FOR__ __OMP_REDUCTION__ ( __red_%s , %s )" % (
+                    _REDUCTION_OPS[op], var)
+            for pattern, marker in _PRAGMA_MAP:
+                if pattern.match(pragma):
+                    return marker
+            return None  # unknown pragmas are ignored, like real compilers
+        if parts.split()[0] in ("ifdef", "ifndef", "else", "endif", "if"):
+            return ("cond", parts)
+        raise CompileError("unknown directive %r" % stripped, line, self.source_name)
+
+    def process(self, source):
+        """Preprocess *source*; returns text with original line count."""
+        source = strip_comments(source)
+        # splice continuation lines, preserving line numbers with blanks
+        lines = []
+        pending = ""
+        pending_extra = 0
+        for raw in source.split("\n"):
+            if raw.endswith("\\"):
+                pending += raw[:-1] + " "
+                pending_extra += 1
+                continue
+            lines.append(pending + raw)
+            lines.extend([""] * pending_extra)
+            pending = ""
+            pending_extra = 0
+        if pending:
+            lines.append(pending)
+
+        out = []
+        cond_stack = []  # True = emitting
+        for lineno, text in enumerate(lines, 1):
+            stripped = text.strip()
+            skipping = not all(cond_stack)
+            if stripped.startswith("#"):
+                word = stripped[1:].strip().split(" ")[0].split("\t")[0]
+                if word in ("ifdef", "ifndef"):
+                    name = stripped[1:].strip()[len(word):].strip()
+                    value = name in self.macros
+                    cond_stack.append(value if word == "ifdef" else not value)
+                    out.append("")
+                    continue
+                if word == "if":
+                    # minimal: "#if 0" and "#if 1"
+                    expr = stripped[1:].strip()[2:].strip()
+                    cond_stack.append(expr not in ("0",))
+                    out.append("")
+                    continue
+                if word == "else":
+                    if not cond_stack:
+                        raise CompileError("#else without #if", lineno, self.source_name)
+                    cond_stack[-1] = not cond_stack[-1]
+                    out.append("")
+                    continue
+                if word == "endif":
+                    if not cond_stack:
+                        raise CompileError("#endif without #if", lineno, self.source_name)
+                    cond_stack.pop()
+                    out.append("")
+                    continue
+                result = self._directive(stripped, lineno, skipping)
+                out.append(result if isinstance(result, str) else "")
+                continue
+            if skipping:
+                out.append("")
+                continue
+            out.append(self._expand(text, lineno))
+        if cond_stack:
+            raise CompileError("unterminated #if", len(lines), self.source_name)
+        return "\n".join(out)

@@ -1,0 +1,18 @@
+"""Compiler diagnostics."""
+
+
+class CompileError(Exception):
+    """A DetC front-end or code-generation error with source position."""
+
+    def __init__(self, message, line=None, source_name=None):
+        self.message = message
+        self.line = line
+        self.source_name = source_name
+        location = ""
+        if source_name:
+            location += "%s:" % source_name
+        if line is not None:
+            location += "%d:" % line
+        if location:
+            location += " "
+        super().__init__(location + message)

@@ -1,0 +1,119 @@
+"""Deterministic MPI (the paper's conclusion, §8): ordered message passing.
+
+    "A deterministic version of MPI could even be proposed, built around
+    ordered communicators where a sender always precedes its receiver(s)
+    (i.e. the sender rank is lower than all its receivers ranks)."
+
+This module generates a small DetC header implementing that sketch on
+bare LBP hardware.  A *rank* is a team-member index (member r runs on
+core r/4).  Each receiving core owns a mailbox array in its shared bank:
+one {flag, value} word pair per slot.  ``dmpi_send`` spins until the
+mailbox is free, writes the value, drains its stores with ``p_syncm``
+(so the value is globally visible *before* the flag), then raises the
+flag; ``dmpi_recv`` polls the flag, reads the value and releases the
+mailbox.
+
+Why this is deterministic and deadlock-free:
+
+* each (receiver, slot) mailbox has a single writer and a single reader
+  by the communicator discipline, so there are no data races;
+* the sender-rank < receiver-rank rule makes the communication graph a
+  DAG along the referential sequential order — no cycles, no deadlock,
+  and "a data cannot go back in time" holds by construction;
+* every wait is an active poll on the non-interruptible machine, so
+  run-to-run timing is cycle-identical (tests assert it).
+
+The flag/value ordering is safe without a receiver-side fence: the
+sender's ``p_syncm`` orders value-before-flag at the bank, and the
+receiver's value load is only fetched after the poll branch resolved, so
+it reaches the same bank port after the load that observed the flag.
+"""
+
+from repro import memmap
+
+#: byte offset of the mailbox region inside each core's shared bank
+MAILBOX_OFFSET = 0x70000
+
+#: number of slots per receiving *rank* (four ranks share a core's bank)
+SLOTS_PER_RANK = 64
+
+
+def mailbox_addr(rank, slot):
+    """Address of (flag, value) mailbox *slot* of receiver *rank*."""
+    core = rank // memmap.HARTS_PER_CORE
+    lane = rank % memmap.HARTS_PER_CORE
+    return memmap.global_bank_base(core) + MAILBOX_OFFSET + 8 * (
+        lane * SLOTS_PER_RANK + slot % SLOTS_PER_RANK)
+
+
+def dmpi_header():
+    """DetC source defining dmpi_send / dmpi_recv (prepend to programs)."""
+    return """
+/* ---- Deterministic MPI: ordered communicators on LBP ------------------ */
+#define DMPI_GB %(gb)dU
+#define DMPI_BOX(rank, slot) \\
+    ((int*)(DMPI_GB + (((unsigned)(rank) >> 2) << 20) + %(off)d \\
+            + (((rank) & 3) * %(slots)d + (slot) %% %(slots)d) * 8))
+
+/* send to a HIGHER rank (the ordered-communicator rule) */
+void dmpi_send(int dst_rank, int slot, int value) {
+    int *box = DMPI_BOX(dst_rank, slot);
+    while (box[0] != 0)
+        ;                       /* previous message not yet consumed */
+    box[1] = value;
+    __p_syncm();                /* value is visible before the flag */
+    box[0] = 1;
+}
+
+/* receive into the calling rank's own mailbox */
+int dmpi_recv(int my_rank, int slot) {
+    int *box = DMPI_BOX(my_rank, slot);
+    int value;
+    while (box[0] == 0)
+        ;                       /* active wait: no interrupt on LBP */
+    value = box[1];
+    __p_syncm();
+    box[0] = 0;                 /* release the mailbox */
+    return value;
+}
+/* ----------------------------------------------------------------------- */
+""" % {"gb": memmap.GLOBAL_BASE, "off": MAILBOX_OFFSET, "slots": SLOTS_PER_RANK}
+
+
+def pipeline_source(ranks, rounds=1):
+    """A demo program: rank r receives from r-1, accumulates, sends to r+1.
+
+    The communicator is strictly ascending (sender rank < receiver rank),
+    the paper's ordered-communicator rule.  After the team joins, rank
+    ``ranks-1``'s result (the sum 1 + 2 + ... + ranks-1 plus the seed)
+    is in ``pipeline_out``.
+    """
+    return dmpi_header() + """
+#include <det_omp.h>
+#define RANKS %(ranks)d
+int pipeline_out;
+
+void stage(int r) {
+    int acc;
+    if (r == 0)
+        acc = 1000;                     /* the seed enters at rank 0 */
+    else
+        acc = dmpi_recv(r, 0);
+    acc += r;
+    if (r < RANKS - 1)
+        dmpi_send(r + 1, 0, acc);
+    else
+        pipeline_out = acc;
+}
+
+void main() {
+    int r;
+    #pragma omp parallel for
+    for (r = 0; r < RANKS; r++)
+        stage(r);
+}
+""" % {"ranks": ranks}
+
+
+def pipeline_expected(ranks, seed=1000):
+    return seed + sum(range(ranks))

@@ -1,0 +1,79 @@
+"""Experiment runners + table formatting for the figure benches."""
+
+from repro.compiler import compile_to_program
+from repro.fastsim import FastLBP
+from repro.machine import LBP, Params
+from repro.workloads.matmul import MATMUL_VERSIONS, matmul_source, verify_matmul
+
+
+def run_matmul_experiment(version, h, num_cores, scale=1, simulator="cycle",
+                          max_cycles=500_000_000):
+    """Compile, run and verify one matmul version; returns a result row."""
+    program = compile_to_program(
+        matmul_source(version, h, scale=scale), "matmul_%s.c" % version
+    )
+    params = Params(num_cores=num_cores)
+    if simulator == "cycle":
+        machine = LBP(params).load(program)
+    elif simulator == "fast":
+        machine = FastLBP(params).load(program)
+    else:
+        raise ValueError("simulator must be 'cycle' or 'fast'")
+    stats = machine.run(max_cycles=max_cycles)
+    verify_matmul(machine, program, version, h, scale=scale)
+    return {
+        "version": version,
+        "h": h,
+        "cores": num_cores,
+        "scale": scale,
+        "simulator": simulator,
+        "cycles": stats.cycles,
+        "retired": stats.retired,
+        "ipc": round(stats.ipc, 2),
+        "local": stats.local_accesses,
+        "remote": stats.remote_accesses,
+    }
+
+
+def run_matmul_figure(h, num_cores, scale=1, simulator="cycle",
+                      versions=MATMUL_VERSIONS):
+    """All versions of one figure; returns {version: row}."""
+    return {
+        version: run_matmul_experiment(version, h, num_cores, scale, simulator)
+        for version in versions
+    }
+
+
+def format_rows(rows, paper=None, title=""):
+    """Render measured rows (and paper references when known) as a table."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = "%-12s %12s %8s %12s" % ("version", "cycles", "ipc", "retired")
+    if paper is not None:
+        header += "   | %12s %8s %12s" % ("paper-cyc", "p-ipc", "p-retired")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for version, row in rows.items():
+        line = "%-12s %12d %8.2f %12d" % (
+            version, row["cycles"], row["ipc"], row["retired"]
+        )
+        if paper is not None:
+            ref = paper["rows"].get(version, {})
+            line += "   | %12s %8s %12s" % (
+                _fmt(ref.get("cycles")), _fmt(ref.get("ipc")), _fmt(ref.get("retired"))
+            )
+        lines.append(line)
+    if paper is not None and paper.get("relations"):
+        lines.append("paper's claims:")
+        for relation in paper["relations"]:
+            lines.append("  - " + relation)
+    return "\n".join(lines)
+
+
+def _fmt(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return "%.2f" % value
+    return "%d" % value

@@ -1,0 +1,27 @@
+"""Instruction-level timing-approximate LBP simulator.
+
+The cycle-accurate model in :mod:`repro.machine` interprets one pipeline
+stage per core per cycle; at the paper's 64-core scale (59 M retired
+instructions) that is out of reach for pure Python.  ``fastsim`` executes
+the *same* programs functionally, hart by hart, with a calibrated timing
+model:
+
+* per-hart issue gaps (2 cycles fetch/decode suspension, operation
+  latencies, branch resolution) reproduce the single-hart behaviour;
+* a one-issue-per-cycle reservation cursor per core reproduces the
+  1-IPC-per-core saturation;
+* the same router-tree path model (with per-link reservation cursors)
+  reproduces remote-access latency and bandwidth contention;
+* team protocol (fork, CV transfer, ordered p_ret chain, join) is modelled
+  with blocking events, preserving the referential sequential order.
+
+Harts are scheduled lowest-local-clock-first in small quanta so resource
+reservations happen in approximate time order.  Retired-instruction counts
+are *exact* (same dynamic instruction stream); cycle counts are validated
+against the cycle-accurate simulator in
+``tests/integration/test_fastsim_validation.py``.
+"""
+
+from repro.fastsim.sim import FastLBP
+
+__all__ = ["FastLBP"]

@@ -1,0 +1,49 @@
+"""Instruction set architecture: RV32IM base plus the X_PAR (PISC) extension.
+
+This package defines the machine-level contract shared by the assembler,
+the compiler back end, both simulators and the disassembler:
+
+* :mod:`repro.isa.registers` — the RISC-V integer register file and ABI names.
+* :mod:`repro.isa.instruction` — the decoded-instruction value object.
+* :mod:`repro.isa.spec` — one :class:`InstrSpec` per machine instruction
+  (RV32I, M extension, and the twelve X_PAR instructions of the paper's
+  figure 5), including binary encodings.
+* :mod:`repro.isa.encoding` — bit-level encode/decode for the standard
+  RISC-V formats (R/I/S/B/U/J) and the X_PAR layouts.
+* :mod:`repro.isa.semantics` — pure-functional 32-bit ALU semantics used by
+  both simulators and by property tests.
+* :mod:`repro.isa.disasm` — textual disassembly.
+"""
+
+from repro.isa.instruction import Instruction
+from repro.isa.registers import (
+    ABI_NAMES,
+    REG_COUNT,
+    reg_name,
+    reg_num,
+)
+from repro.isa.spec import (
+    INSTR_SPECS,
+    XPAR_MNEMONICS,
+    InstrClass,
+    InstrSpec,
+    spec_for,
+)
+from repro.isa.encoding import decode_word, encode_instruction
+from repro.isa.disasm import disassemble
+
+__all__ = [
+    "ABI_NAMES",
+    "INSTR_SPECS",
+    "Instruction",
+    "InstrClass",
+    "InstrSpec",
+    "REG_COUNT",
+    "XPAR_MNEMONICS",
+    "decode_word",
+    "disassemble",
+    "encode_instruction",
+    "reg_name",
+    "reg_num",
+    "spec_for",
+]

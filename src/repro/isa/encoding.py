@@ -1,0 +1,230 @@
+"""Binary encoding and decoding of RV32IM + X_PAR instructions.
+
+The standard RISC-V formats (R, I, S, B, U, J) follow the unprivileged
+specification.  X_PAR instructions live in the *custom-0* (0x0B) and
+*custom-1* (0x2B) major opcodes and reuse the standard R/I/S layouts; the
+paper does not publish bit layouts, so these are our own (see DESIGN.md
+section 5) and are validated by encode/decode round-trip property tests.
+"""
+
+from repro.isa.instruction import Instruction
+from repro.isa.spec import INSTR_SPECS, spec_for
+
+
+class EncodingError(ValueError):
+    """An instruction or word that cannot be encoded / decoded."""
+
+
+def _check_reg(value, field):
+    if not 0 <= value < 32:
+        raise EncodingError("%s out of range: %r" % (field, value))
+    return value
+
+
+def _check_signed(value, bits, what):
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not lo <= value <= hi:
+        raise EncodingError(
+            "%s immediate %d does not fit in %d signed bits" % (what, value, bits)
+        )
+    return value & ((1 << bits) - 1)
+
+
+def sign_extend(value, bits):
+    """Sign-extend the low *bits* bits of *value* to a Python int."""
+    mask = (1 << bits) - 1
+    value &= mask
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+def _encode_r(spec, ins):
+    return (
+        spec.opcode
+        | (_check_reg(ins.rd, "rd") << 7)
+        | (spec.funct3 << 12)
+        | (_check_reg(ins.rs1, "rs1") << 15)
+        | (_check_reg(ins.rs2, "rs2") << 20)
+        | (spec.funct7 << 25)
+    )
+
+
+def _encode_i(spec, ins):
+    if spec.opcode == 0b1110011:  # SYSTEM: imm12 discriminates ecall/ebreak
+        return spec.opcode | (spec.funct3 << 12) | (spec.funct7 << 20)
+    if spec.mnemonic in ("slli", "srli", "srai"):
+        if not 0 <= ins.imm < 32:
+            raise EncodingError("shift amount out of range: %d" % ins.imm)
+        imm = ins.imm | (spec.funct7 << 5)
+    else:
+        imm = _check_signed(ins.imm, 12, spec.mnemonic)
+    return (
+        spec.opcode
+        | (_check_reg(ins.rd, "rd") << 7)
+        | (spec.funct3 << 12)
+        | (_check_reg(ins.rs1, "rs1") << 15)
+        | (imm << 20)
+    )
+
+
+def _encode_s(spec, ins):
+    imm = _check_signed(ins.imm, 12, spec.mnemonic)
+    return (
+        spec.opcode
+        | ((imm & 0x1F) << 7)
+        | (spec.funct3 << 12)
+        | (_check_reg(ins.rs1, "rs1") << 15)
+        | (_check_reg(ins.rs2, "rs2") << 20)
+        | ((imm >> 5) << 25)
+    )
+
+
+def _encode_b(spec, ins):
+    if ins.imm % 2:
+        raise EncodingError("branch offset must be even: %d" % ins.imm)
+    imm = _check_signed(ins.imm, 13, spec.mnemonic)
+    return (
+        spec.opcode
+        | (((imm >> 11) & 0x1) << 7)
+        | (((imm >> 1) & 0xF) << 8)
+        | (spec.funct3 << 12)
+        | (_check_reg(ins.rs1, "rs1") << 15)
+        | (_check_reg(ins.rs2, "rs2") << 20)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (((imm >> 12) & 0x1) << 31)
+    )
+
+
+def _encode_u(spec, ins):
+    if not 0 <= ins.imm < (1 << 20):
+        raise EncodingError("U-type immediate out of range: %d" % ins.imm)
+    return spec.opcode | (_check_reg(ins.rd, "rd") << 7) | (ins.imm << 12)
+
+
+def _encode_j(spec, ins):
+    if ins.imm % 2:
+        raise EncodingError("jump offset must be even: %d" % ins.imm)
+    imm = _check_signed(ins.imm, 21, spec.mnemonic)
+    return (
+        spec.opcode
+        | (_check_reg(ins.rd, "rd") << 7)
+        | (((imm >> 12) & 0xFF) << 12)
+        | (((imm >> 11) & 0x1) << 20)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 20) & 0x1) << 31)
+    )
+
+
+_ENCODERS = {
+    "R": _encode_r,
+    "I": _encode_i,
+    "S": _encode_s,
+    "B": _encode_b,
+    "U": _encode_u,
+    "J": _encode_j,
+}
+
+
+def encode_instruction(ins):
+    """Encode a decoded :class:`Instruction` into a 32-bit word."""
+    spec = ins.spec or spec_for(ins.mnemonic)
+    try:
+        encoder = _ENCODERS[spec.fmt]
+    except KeyError:
+        raise EncodingError("no encoder for format %r" % (spec.fmt,)) from None
+    return encoder(spec, ins)
+
+
+def _build_decode_table():
+    """Index specs by (opcode, funct3, funct7-if-needed) for decoding."""
+    table = {}
+    for spec in INSTR_SPECS.values():
+        if spec.opcode == 0b1110011:
+            continue  # SYSTEM decoded by hand (imm12 discriminates)
+        if spec.fmt == "U" or spec.fmt == "J":
+            key = (spec.opcode, None, None)
+        elif spec.fmt == "R":
+            key = (spec.opcode, spec.funct3, spec.funct7)
+        elif spec.mnemonic in ("slli", "srli", "srai"):
+            key = (spec.opcode, spec.funct3, spec.funct7)
+        else:
+            key = (spec.opcode, spec.funct3, None)
+        if key in table:
+            raise AssertionError("encoding clash: %s vs %s" % (spec, table[key]))
+        table[key] = spec
+    return table
+
+
+_DECODE_TABLE = _build_decode_table()
+
+# Opcodes whose I-format immediate is actually a funct7-discriminated shift.
+_SHIFT_FUNCT3 = {(0b0010011, 0b001), (0b0010011, 0b101)}
+
+
+def decode_word(word, addr=None):
+    """Decode a 32-bit word into an :class:`Instruction`.
+
+    Raises :class:`EncodingError` for unknown encodings.
+    """
+    word &= 0xFFFFFFFF
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+
+    if opcode == 0b1110011:
+        imm12 = word >> 20
+        mnemonic = {0: "ecall", 1: "ebreak"}.get(imm12)
+        if mnemonic is None:
+            raise EncodingError("cannot decode SYSTEM word 0x%08x" % word)
+        ins = Instruction(mnemonic)
+        ins.spec = INSTR_SPECS[mnemonic]
+        ins.addr = addr
+        return ins
+
+    spec = _DECODE_TABLE.get((opcode, None, None))
+    if spec is None:
+        spec = _DECODE_TABLE.get((opcode, funct3, funct7))
+    if spec is None:
+        spec = _DECODE_TABLE.get((opcode, funct3, None))
+    if spec is None:
+        raise EncodingError("cannot decode word 0x%08x" % word)
+
+    fmt = spec.fmt
+    if fmt == "R":
+        ins = Instruction(spec.mnemonic, rd=rd, rs1=rs1, rs2=rs2)
+    elif fmt == "I":
+        if (opcode, funct3) in _SHIFT_FUNCT3:
+            imm = rs2  # shamt
+        else:
+            imm = sign_extend(word >> 20, 12)
+        ins = Instruction(spec.mnemonic, rd=rd, rs1=rs1, imm=imm)
+    elif fmt == "S":
+        imm = sign_extend(((word >> 25) << 5) | rd, 12)
+        ins = Instruction(spec.mnemonic, rs1=rs1, rs2=rs2, imm=imm)
+    elif fmt == "B":
+        imm = (
+            (((word >> 31) & 0x1) << 12)
+            | (((word >> 7) & 0x1) << 11)
+            | (((word >> 25) & 0x3F) << 5)
+            | (((word >> 8) & 0xF) << 1)
+        )
+        ins = Instruction(spec.mnemonic, rs1=rs1, rs2=rs2, imm=sign_extend(imm, 13))
+    elif fmt == "U":
+        ins = Instruction(spec.mnemonic, rd=rd, imm=(word >> 12) & 0xFFFFF)
+    elif fmt == "J":
+        imm = (
+            (((word >> 31) & 0x1) << 20)
+            | (((word >> 12) & 0xFF) << 12)
+            | (((word >> 20) & 0x1) << 11)
+            | (((word >> 21) & 0x3FF) << 1)
+        )
+        ins = Instruction(spec.mnemonic, rd=rd, imm=sign_extend(imm, 21))
+    else:
+        raise EncodingError("unknown format %r" % (fmt,))
+    ins.spec = spec
+    ins.addr = addr
+    return ins

@@ -1,0 +1,50 @@
+"""RISC-V integer register file description and ABI register names."""
+
+REG_COUNT = 32
+
+# Canonical ABI names, indexed by register number (RISC-V psABI).
+ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+)
+
+# Registers a callee must preserve (psABI): sp, s0-s11. gp/tp are platform
+# registers; LBP bare-metal code does not use them.
+CALLEE_SAVED = frozenset([2, 8, 9] + list(range(18, 28)))
+
+# Registers a caller must save around calls: ra, t0-t6, a0-a7.
+CALLER_SAVED = frozenset([1, 5, 6, 7] + list(range(10, 18)) + list(range(28, 32)))
+
+# Argument registers a0-a7 in order.
+ARG_REGS = tuple(range(10, 18))
+
+_NAME_TO_NUM = {name: num for num, name in enumerate(ABI_NAMES)}
+_NAME_TO_NUM.update({"x%d" % n: n for n in range(REG_COUNT)})
+_NAME_TO_NUM["fp"] = 8  # frame pointer alias for s0
+
+
+def reg_num(name):
+    """Return the register number for an ABI name, x-name, or alias.
+
+    Raises :class:`KeyError` with a helpful message for unknown names.
+    """
+    try:
+        return _NAME_TO_NUM[name]
+    except KeyError:
+        raise KeyError("unknown register name %r" % (name,)) from None
+
+
+def reg_name(num):
+    """Return the canonical ABI name for a register number."""
+    if not 0 <= num < REG_COUNT:
+        raise ValueError("register number out of range: %r" % (num,))
+    return ABI_NAMES[num]
+
+
+def is_register_name(name):
+    """Return True when *name* names an integer register."""
+    return name in _NAME_TO_NUM

@@ -1,0 +1,28 @@
+"""Cycle-accurate simulator of the LBP parallelizing manycore processor.
+
+The model follows the paper's section 5:
+
+* :mod:`repro.machine.params` — all microarchitectural knobs.
+* :mod:`repro.machine.hart` — per-hart state: registers, rename table,
+  instruction table, reorder buffer, result buffers.
+* :mod:`repro.machine.core` — the five pipeline stages (fetch,
+  decode/rename, issue/execute, writeback, commit), each selecting one
+  hart per cycle.
+* :mod:`repro.machine.memory` / :mod:`repro.machine.router` — banks,
+  ports, and the r1/r2/r3 router tree with per-link per-cycle capacity.
+* :mod:`repro.machine.processor` — machine assembly, event queue, the
+  simulation loop, loading of programs.
+* :mod:`repro.machine.io` — non-interruptible I/O: devices, controller
+  harts (paper figs. 16-17).
+* :mod:`repro.machine.trace` / :mod:`repro.machine.stats` — the cycle
+  event trace used by the determinism experiments and run statistics.
+
+Everything is deterministic: arbitration uses fixed rotating priorities,
+event queues are ordered by (cycle, sequence number), and devices are
+scripted or seeded.
+"""
+
+from repro.machine.params import Params
+from repro.machine.processor import LBP, DeadlockError, MachineError
+
+__all__ = ["LBP", "DeadlockError", "MachineError", "Params"]

@@ -1,0 +1,456 @@
+"""One LBP core: four harts moved by a five-stage out-of-order pipeline.
+
+Stage contract (paper §5.2): **each stage selects one eligible hart per
+cycle** — one fetch, one decode/rename, one issue, one writeback, one
+commit — with deterministic rotating priority.  There is no branch
+predictor: a hart is suspended after every fetch until its next pc is
+known (at decode for straight-line code and direct jumps, at issue for
+branches and indirect jumps), so multithreading — not speculation — fills
+the pipeline.
+"""
+
+from repro.isa.semantics import (
+    ALU_OPS,
+    BRANCH_OPS,
+    join_hart,
+    p_merge_value,
+    p_set_value,
+)
+from repro.isa.spec import InstrClass
+from repro.machine.hart import Hart, ITEntry, ROBEntry
+from repro.machine.memory import CoreMemory
+
+_C = InstrClass
+
+
+class Core:
+    """One core: pipeline stages, four harts, three banks."""
+
+    def __init__(self, index, machine):
+        self.index = index
+        self.machine = machine
+        params = machine.params
+        self.mem = CoreMemory(index, params)
+        self.harts = [
+            Hart(self, h, params.num_result_buffers,
+                 machine.stats.harts[index][h])
+            for h in range(params.harts_per_core)
+        ]
+        # rotating-priority pointers, one per stage
+        self._rr = {"fetch": 0, "rename": 0, "issue": 0, "wb": 0, "commit": 0}
+
+    # ---- hart selection ----------------------------------------------------
+
+    def _rotate(self, stage, predicate):
+        """Pick the first hart satisfying *predicate*, rotating fairly."""
+        start = self._rr[stage]
+        count = len(self.harts)
+        for step in range(count):
+            hart = self.harts[(start + step) % count]
+            if predicate(hart):
+                self._rr[stage] = (hart.index + 1) % count
+                return hart
+        return None
+
+    def alloc_free_hart(self):
+        """Lowest-numbered free hart, or None (deterministic)."""
+        for hart in self.harts:
+            if hart.is_free():
+                return hart
+        return None
+
+    # ---- fetch -------------------------------------------------------------
+
+    def _can_fetch(self, hart):
+        return (
+            hart.pc is not None
+            and not hart.awaiting_nextpc
+            and not hart.syncm_block
+            and hart.fetch_buf is None
+            and not hart.reserved
+            and self.machine.cycle >= hart.fetch_ready_at
+        )
+
+    def stage_fetch(self):
+        harts = self.harts
+        start = self._rr["fetch"]
+        cycle = self.machine.cycle
+        hart = None
+        for step in range(4):
+            candidate = harts[(start + step) & 3]
+            if (
+                candidate.pc is not None
+                and not candidate.awaiting_nextpc
+                and not candidate.syncm_block
+                and candidate.fetch_buf is None
+                and not candidate.reserved
+                and cycle >= candidate.fetch_ready_at
+            ):
+                hart = candidate
+                break
+        if hart is None:
+            return
+        self._rr["fetch"] = (hart.index + 1) & 3
+        ins = self.machine.fetch_instruction(hart.pc, hart)
+        hart.fetch_buf = (hart.pc, ins)
+        hart.awaiting_nextpc = True  # suspended until next pc is known
+
+    # ---- decode / rename ---------------------------------------------------
+
+    def _can_rename(self, hart):
+        return (
+            hart.fetch_buf is not None
+            and len(hart.rob) < self.machine.params.rob_size
+        )
+
+    def stage_rename(self):
+        harts = self.harts
+        start = self._rr["rename"]
+        rob_size = self.machine.params.rob_size
+        hart = None
+        for step in range(4):
+            candidate = harts[(start + step) & 3]
+            if candidate.fetch_buf is not None and len(candidate.rob) < rob_size:
+                hart = candidate
+                break
+        if hart is None:
+            return
+        self._rr["rename"] = (hart.index + 1) & 3
+        pc, ins = hart.fetch_buf
+        hart.fetch_buf = None
+        spec = ins.spec
+        tag = self.machine.next_tag()
+
+        vals, waits = [], []
+        for field in spec.reads:
+            reg = ins.rs1 if field == "rs1" else ins.rs2
+            value, wait = hart.read_source(reg)
+            vals.append(value)
+            waits.append(wait)
+
+        entry = ITEntry(tag, ins, pc, vals, waits)
+        hart.it.append(entry)
+        hart.rob.append(ROBEntry(tag, ins))
+        if spec.writes_rd and ins.rd != 0:
+            hart.rename[ins.rd] = tag
+
+        # next-pc determination (fetch resumes when it is known)
+        cls = spec.cls
+        cycle = self.machine.cycle
+        if cls == _C.BRANCH or cls == _C.JALR or cls == _C.P_JALR:
+            pass  # resolved at issue; hart stays suspended
+        elif cls == _C.JAL or cls == _C.P_JAL:
+            hart.pc = (pc + ins.imm) & 0xFFFFFFFF
+            hart.awaiting_nextpc = False
+            hart.fetch_ready_at = cycle + 1
+        elif cls == _C.SYSTEM:
+            hart.pc = None  # halts (ebreak) or traps (ecall) at commit
+            hart.awaiting_nextpc = False
+        else:
+            hart.pc = pc + 4
+            hart.awaiting_nextpc = False
+            hart.fetch_ready_at = cycle + 1
+            if cls == _C.P_SYNCM:
+                hart.syncm_block = True
+
+    # ---- issue / execute ---------------------------------------------------
+
+    def _entry_ready(self, hart, entry, older_store_pending):
+        if not entry.sources_ready():
+            return False
+        ins = entry.ins
+        spec = ins.spec
+        cls = spec.cls
+        if spec.writes_rd and ins.rd != 0 and hart.rb.busy:
+            return False
+        if cls == _C.LOAD or cls == _C.P_LWCV:
+            # LBP has no load/store queue; the minimal disambiguation we
+            # model is: a load waits for all older stores of its hart to
+            # have issued (port FIFO then orders same-bank accesses).
+            return not older_store_pending
+        if cls == _C.P_LWRE:
+            index = ins.imm % len(hart.re_buffers)
+            return hart.re_buffers[index] is not None
+        if cls == _C.P_FC:
+            return self.alloc_free_hart() is not None
+        if cls == _C.P_FN:
+            next_core = self.machine.core_after(self)
+            if next_core is None:
+                # teams only expand along the line of cores (paper §5.1);
+                # a fork past the last core can never succeed
+                self.machine.error(
+                    "p_fn on the last core (hart %d): no next core to fork on"
+                    % hart.gid)
+                return False
+            return next_core.alloc_free_hart() is not None
+        if cls == _C.P_SYNCM:
+            return entry is hart.it[0] and hart.outstanding_mem == 0
+        return True
+
+    def _pick_issue(self, hart):
+        """Oldest ready entry of *hart*, or None."""
+        older_store_pending = False
+        for entry in hart.it:
+            if self._entry_ready(hart, entry, older_store_pending):
+                return entry
+            cls = entry.ins.spec.cls
+            if cls == _C.STORE or cls == _C.P_SWCV:
+                older_store_pending = True
+        return None
+
+    def stage_issue(self):
+        harts = self.harts
+        start = self._rr["issue"]
+        for step in range(4):
+            hart = harts[(start + step) & 3]
+            if not hart.it:
+                continue
+            entry = self._pick_issue(hart)
+            if entry is None:
+                continue
+            self._rr["issue"] = (hart.index + 1) & 3
+            hart.it.remove(entry)
+            entry.issued = True
+            self._execute(hart, entry)
+            return
+
+    def _rob_entry(self, hart, tag):
+        for rob_entry in hart.rob:
+            if rob_entry.tag == tag:
+                return rob_entry
+        raise AssertionError("tag %d not in ROB of hart %d" % (tag, hart.gid))
+
+    def _finish_at(self, hart, entry, value, ready_at):
+        """Route a register result through the writeback buffer."""
+        ins = entry.ins
+        if ins.spec.writes_rd and ins.rd != 0:
+            hart.rb.occupy(entry.tag, ins.rd)
+            hart.rb.fill(value, ready_at)
+        else:
+            self._rob_entry(hart, entry.tag).done = True
+
+    def _resolve_pc(self, hart, target):
+        hart.pc = target & 0xFFFFFFFF
+        hart.awaiting_nextpc = False
+        hart.fetch_ready_at = self.machine.cycle + 1
+
+    def _execute(self, hart, entry):
+        machine = self.machine
+        now = machine.cycle
+        ins = entry.ins
+        spec = ins.spec
+        cls = spec.cls
+        vals = entry.vals
+
+        if cls == _C.ALU or cls == _C.MULDIV:
+            a = vals[0]
+            b = vals[1] if len(vals) == 2 else ins.imm
+            value = ALU_OPS[ins.mnemonic](a, b)
+            self._finish_at(hart, entry, value, now + machine.params.latency_for(spec))
+        elif cls == _C.LUI:
+            self._finish_at(hart, entry, (ins.imm << 12) & 0xFFFFFFFF, now + 1)
+        elif cls == _C.AUIPC:
+            self._finish_at(hart, entry, (entry.pc + (ins.imm << 12)) & 0xFFFFFFFF, now + 1)
+        elif cls == _C.JAL:
+            self._finish_at(hart, entry, entry.pc + 4, now + 1)
+        elif cls == _C.JALR:
+            self._resolve_pc(hart, (vals[0] + ins.imm) & 0xFFFFFFFE)
+            self._finish_at(hart, entry, entry.pc + 4, now + 1)
+        elif cls == _C.BRANCH:
+            taken = BRANCH_OPS[ins.mnemonic](vals[0], vals[1])
+            self._resolve_pc(hart, entry.pc + ins.imm if taken else entry.pc + 4)
+            self._rob_entry(hart, entry.tag).done = True
+        elif cls == _C.LOAD:
+            addr = (vals[0] + ins.imm) & 0xFFFFFFFF
+            machine.schedule_load(self, hart, entry.tag, ins, addr)
+            hart.stats.loads += 1
+        elif cls == _C.STORE:
+            addr = (vals[0] + ins.imm) & 0xFFFFFFFF
+            machine.schedule_store(self, hart, entry.tag, ins, addr, vals[1])
+            hart.stats.stores += 1
+        elif cls == _C.SYSTEM or cls == _C.FENCE:
+            self._rob_entry(hart, entry.tag).done = True
+        elif cls == _C.P_SET:
+            value = p_set_value(vals[0], self.index, hart.index)
+            self._finish_at(hart, entry, value, now + 1)
+        elif cls == _C.P_MERGE:
+            self._finish_at(hart, entry, p_merge_value(vals[0], vals[1]), now + 1)
+        elif cls == _C.P_FC or cls == _C.P_FN:
+            target_core = self if cls == _C.P_FC else machine.core_after(self)
+            target = target_core.alloc_free_hart()
+            target.reserve_for_fork(hart)
+            hart.stats.forks += 1
+            machine.stats.forks += 1
+            machine.trace.record(now, self.index, hart.index, "fork",
+                                 "allocate hart %d" % target.gid)
+            self._finish_at(hart, entry, target.gid, now + 1)
+        elif cls == _C.P_SWCV:
+            machine.schedule_cv_write(
+                self, hart, entry.tag, vals[0] & 0xFFFF, ins.imm, vals[1])
+        elif cls == _C.P_LWCV:
+            addr = machine.cv_address(hart, ins.imm)
+            machine.schedule_load(self, hart, entry.tag, ins, addr)
+        elif cls == _C.P_SWRE:
+            machine.schedule_re_send(
+                self, hart, entry.tag, vals[0] & 0xFFFF, ins.imm, vals[1])
+        elif cls == _C.P_LWRE:
+            index = ins.imm % len(hart.re_buffers)
+            value = hart.re_buffers[index]
+            hart.re_buffers[index] = None
+            self._finish_at(hart, entry, value, now + 1)
+        elif cls == _C.P_JAL:
+            # next pc already resolved at decode; send pc+4, clear rd
+            machine.send_start_pc(self, hart, vals[0] & 0xFFFF, entry.pc + 4)
+            self._finish_at(hart, entry, 0, now + 1)
+        elif cls == _C.P_JALR:
+            if ins.rd == 0:
+                self._execute_p_ret(hart, entry)
+            else:
+                machine.send_start_pc(self, hart, vals[0] & 0xFFFF, entry.pc + 4)
+                self._resolve_pc(hart, vals[1] & 0xFFFFFFFE)
+                self._finish_at(hart, entry, 0, now + 1)
+        elif cls == _C.P_SYNCM:
+            hart.syncm_block = False
+            self._rob_entry(hart, entry.tag).done = True
+        else:
+            raise AssertionError("unhandled instruction class %r" % (cls,))
+
+    def _execute_p_ret(self, hart, entry):
+        """p_ret = p_jalr zero, ra, t0: decide the ending case (paper §4)."""
+        ra, t0 = entry.vals
+        if ra == 0:
+            if t0 == 0xFFFFFFFF:
+                action = ("exit", None, None)
+            elif join_hart(t0) == hart.gid:
+                action = ("wait", None, None)
+            else:
+                action = ("end", None, None)
+        else:
+            action = ("join", join_hart(t0), ra)
+        rob_entry = self._rob_entry(hart, entry.tag)
+        rob_entry.ret_action = action
+        rob_entry.done = True
+        # no further fetch on this hart until a join or a new fork
+        hart.pc = None
+        hart.awaiting_nextpc = False
+
+    # ---- writeback ---------------------------------------------------------
+
+    def _can_writeback(self, hart):
+        rb = hart.rb
+        return rb.busy and rb.value is not None and rb.ready_at <= self.machine.cycle
+
+    def stage_writeback(self):
+        harts = self.harts
+        start = self._rr["wb"]
+        cycle = self.machine.cycle
+        for step in range(4):
+            hart = harts[(start + step) & 3]
+            rb = hart.rb
+            if rb.busy and rb.value is not None and rb.ready_at <= cycle:
+                self._rr["wb"] = (hart.index + 1) & 3
+                hart.writeback(rb.tag, rb.reg, rb.value)
+                self._rob_entry(hart, rb.tag).done = True
+                rb.release()
+                return
+
+    # ---- commit ------------------------------------------------------------
+
+    def _can_commit(self, hart):
+        if not hart.rob or not hart.rob[0].done:
+            return False
+        head = hart.rob[0]
+        if head.ret_action is not None:
+            # the ordered-release barrier: wait for the predecessor's
+            # ending-hart signal (if this hart was forked and the link is
+            # still pending), and for our own memory writes to be visible
+            if hart.pred is not None and not hart.pred_done:
+                return False
+            if hart.outstanding_mem != 0:
+                return False
+        return True
+
+    def stage_commit(self):
+        harts = self.harts
+        start = self._rr["commit"]
+        hart = None
+        for step in range(4):
+            candidate = harts[(start + step) & 3]
+            if candidate.rob and candidate.rob[0].done \
+                    and self._can_commit(candidate):
+                hart = candidate
+                break
+        if hart is None:
+            return
+        self._rr["commit"] = (hart.index + 1) & 3
+        head = hart.rob.pop(0)
+        hart.stats.retired += 1
+        machine = self.machine
+        if head.ins.mnemonic == "ebreak":
+            machine.halt("ebreak")
+            return
+        if head.ins.mnemonic == "ecall":
+            machine.error("ecall is not supported on bare-metal LBP")
+            return
+        if head.ret_action is not None:
+            self._commit_p_ret(hart, head)
+
+    def _commit_p_ret(self, hart, head):
+        machine = self.machine
+        now = machine.cycle
+        kind, join_gid, join_addr = head.ret_action
+        machine.trace.record(now, self.index, hart.index, "p_ret", kind)
+        # consume the predecessor link, propagate the ending signal
+        hart.pred = None
+        hart.pred_done = False
+        if hart.succ is not None:
+            machine.send_ending_signal(self, hart, hart.succ)
+            hart.succ = None
+        if kind == "exit":
+            machine.halt("exit")
+        elif kind == "wait":
+            hart.pc = None
+            hart.waiting_join = True
+            if hart.pending_join is not None:
+                addr = hart.pending_join
+                hart.pending_join = None
+                hart.start(addr, now)
+        elif kind == "end":
+            hart.end()
+        elif kind == "join":
+            hart.end()
+            machine.stats.joins += 1
+            if join_gid == hart.gid:
+                # single-member team: the last member is the join hart —
+                # resume directly at the join address
+                hart.start(join_addr, now)
+            else:
+                machine.send_join(self, hart, join_gid, join_addr)
+        else:
+            raise AssertionError(kind)
+
+    # ---- per-cycle ---------------------------------------------------------
+
+    def tick(self):
+        """Run the five stages for one cycle (commit-side first)."""
+        busy = False
+        for hart in self.harts:
+            if hart.pc is not None or hart.rob or hart.fetch_buf is not None:
+                busy = True
+                break
+        if not busy:
+            return
+        self.stage_commit()
+        self.stage_writeback()
+        self.stage_issue()
+        self.stage_rename()
+        self.stage_fetch()
+
+    def any_activity_possible(self):
+        """Cheap liveness check for deadlock detection.
+
+        Harts that are merely waiting (for a join, or reserved awaiting a
+        start pc) are passive: they only progress through events, so they
+        do not count as activity by themselves.
+        """
+        return any(not hart.is_idle() for hart in self.harts)

@@ -1,0 +1,202 @@
+"""Per-hart microarchitectural state.
+
+A hart (hardware thread, RISC-V terminology) owns: a pc (which may be
+*empty* — a free hart), a one-entry fetch buffer, a rename table over a
+per-hart register file, an instruction table (the out-of-order waiting
+station), a reorder buffer committing in order, the single writeback
+result buffer that serialises multicycle results, and the numbered
+``p_swre``/``p_lwre`` result buffers.
+
+The hart also carries the team-protocol links (predecessor/successor used
+by the ordered ``p_ret`` commit chain) and the fork reservation flag.
+"""
+
+from repro import memmap
+
+
+class ITEntry:
+    """One instruction waiting (or executing) in the instruction table."""
+
+    __slots__ = ("tag", "ins", "pc", "vals", "waits", "issued")
+
+    def __init__(self, tag, ins, pc, vals, waits):
+        self.tag = tag
+        self.ins = ins
+        self.pc = pc
+        #: source values, aligned with ins.spec.reads (None while waiting)
+        self.vals = vals
+        #: producer tags awaited, aligned with vals (None when value present)
+        self.waits = waits
+        self.issued = False
+
+    def sources_ready(self):
+        return all(wait is None for wait in self.waits)
+
+
+class ROBEntry:
+    """One reorder-buffer slot."""
+
+    __slots__ = ("tag", "ins", "done", "ret_action")
+
+    def __init__(self, tag, ins):
+        self.tag = tag
+        self.ins = ins
+        self.done = False
+        #: for p_ret: ("exit"|"wait"|"end"|"join", join_hart, join_addr)
+        self.ret_action = None
+
+
+class ResultBuffer:
+    """The hart's single writeback buffer (one in-flight result)."""
+
+    __slots__ = ("busy", "tag", "reg", "value", "ready_at")
+
+    def __init__(self):
+        self.busy = False
+        self.tag = None
+        self.reg = 0
+        self.value = None
+        self.ready_at = 0
+
+    def occupy(self, tag, reg):
+        self.busy = True
+        self.tag = tag
+        self.reg = reg
+        self.value = None
+        self.ready_at = 0
+
+    def fill(self, value, ready_at):
+        self.value = value & 0xFFFFFFFF
+        self.ready_at = ready_at
+
+    def release(self):
+        self.busy = False
+        self.tag = None
+        self.value = None
+
+
+class Hart:
+    """All state of one hardware thread."""
+
+    __slots__ = (
+        "core", "index", "gid",
+        "regs", "rename",
+        "pc", "awaiting_nextpc", "fetch_ready_at", "syncm_block",
+        "fetch_buf",
+        "it", "rob", "rb",
+        "re_buffers",
+        "outstanding_mem",
+        "reserved", "waiting_join", "pending_join",
+        "pred", "pred_done", "succ",
+        "stats",
+    )
+
+    def __init__(self, core, index, num_result_buffers, stats):
+        self.core = core
+        self.index = index
+        self.gid = core.index * memmap.HARTS_PER_CORE + index
+        self.regs = [0] * 32
+        self.rename = [None] * 32
+        self.pc = None
+        self.awaiting_nextpc = False
+        self.fetch_ready_at = 0
+        self.syncm_block = False
+        self.fetch_buf = None
+        self.it = []
+        self.rob = []
+        self.rb = ResultBuffer()
+        self.re_buffers = [None] * num_result_buffers
+        self.outstanding_mem = 0
+        self.reserved = False
+        self.waiting_join = False
+        self.pending_join = None
+        self.pred = None
+        self.pred_done = False
+        self.succ = None
+        self.stats = stats
+
+    # ---- lifecycle --------------------------------------------------------
+
+    def is_free(self):
+        """Can this hart be allocated by p_fc/p_fn?"""
+        return (
+            self.pc is None
+            and not self.reserved
+            and not self.waiting_join
+            and self.fetch_buf is None
+            and not self.it
+            and not self.rob
+            and not self.rb.busy
+        )
+
+    def is_idle(self):
+        """No work at all (used for deadlock detection)."""
+        return (
+            self.pc is None
+            and self.fetch_buf is None
+            and not self.it
+            and not self.rob
+            and not self.rb.busy
+            and self.outstanding_mem == 0
+        )
+
+    def reserve_for_fork(self, parent):
+        """Allocation by p_fc/p_fn: reset protocol state, set initial sp."""
+        self.reserved = True
+        self.rename = [None] * 32
+        self.regs[2] = memmap.hart_initial_sp(self.index)  # sp
+        self.re_buffers = [None] * len(self.re_buffers)
+        self.pred = parent
+        self.pred_done = False
+        parent.succ = self
+
+    def start(self, pc, cycle):
+        """Begin fetching at *pc* (fork start or join resume)."""
+        self.pc = pc
+        self.reserved = False
+        self.waiting_join = False
+        self.awaiting_nextpc = False
+        self.syncm_block = False
+        self.fetch_ready_at = cycle + 1
+
+    def end(self):
+        """The hart ends (p_ret cases 2 and 4): becomes free."""
+        self.pc = None
+        self.awaiting_nextpc = False
+        self.syncm_block = False
+        self.reserved = False
+        self.waiting_join = False
+
+    # ---- rename-side helpers ----------------------------------------------
+
+    def read_source(self, reg):
+        """(value, wait_tag): the committed value or the producer tag."""
+        if reg == 0:
+            return 0, None
+        tag = self.rename[reg]
+        if tag is None:
+            return self.regs[reg], None
+        return None, tag
+
+    def writeback(self, tag, reg, value):
+        """Apply a completed result to the register file and wake waiters.
+
+        The architectural register is updated only when this producer is
+        still the *latest* rename of the register; an older producer that
+        writes back after a newer one (possible with out-of-order issue)
+        must not clobber the newer value.  Its value still reaches the
+        consumers that captured its tag, via the broadcast below.
+        """
+        if reg != 0 and self.rename[reg] == tag:
+            self.regs[reg] = value & 0xFFFFFFFF
+            self.rename[reg] = None
+        for entry in self.it:
+            for slot, wait in enumerate(entry.waits):
+                if wait == tag:
+                    entry.waits[slot] = None
+                    entry.vals[slot] = value & 0xFFFFFFFF
+
+    def drop_rename(self, reg, tag):
+        """Forget a rename mapping for a producer that writes nothing."""
+        if reg != 0 and self.rename[reg] == tag:
+            self.rename[reg] = None

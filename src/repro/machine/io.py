@@ -1,0 +1,125 @@
+"""Non-interruptible I/O: devices for the LBP machine (paper §6).
+
+LBP has no interrupts.  Devices are memory-mapped; harts *poll* them
+(an active wait on the input instruction), and values move to consumers
+through ordinary loads or through ``p_swre``/``p_lwre`` dependencies when
+a dedicated controller hart is used (fig. 17).  Every device here is
+deterministic: either scripted (exact ready cycles) or seeded.
+
+A device occupies two consecutive words:
+
+* ``base``     — STATUS: reads 1 when a value is available, else 0;
+* ``base + 4`` — VALUE: reads the current value (input devices) or
+  accepts a write (output devices; writes are logged with their cycle).
+
+Use :func:`attach_input` / :func:`attach_output` to wire a device into a
+machine (works with both the cycle-accurate and the fast simulator, which
+share the ``add_device`` interface).
+"""
+
+import random
+
+
+class _StatusPort:
+    __slots__ = ("device",)
+
+    def __init__(self, device):
+        self.device = device
+
+    def read(self, cycle):
+        return 1 if self.device.ready(cycle) else 0
+
+    def write(self, cycle, value):
+        raise ValueError("status port is read-only")
+
+
+class _ValuePort:
+    __slots__ = ("device",)
+
+    def __init__(self, device):
+        self.device = device
+
+    def read(self, cycle):
+        return self.device.value(cycle)
+
+    def write(self, cycle, value):
+        self.device.accept(cycle, value)
+
+
+class ScriptedInput:
+    """An input device producing scripted (ready_cycle, value) events.
+
+    ``events`` is a list of (ready_cycle, value); the device presents each
+    value once the cycle is reached and advances to the next event when
+    the value is consumed (first VALUE read at/after ready).
+    """
+
+    def __init__(self, events):
+        self.events = sorted(events)
+        self.cursor = 0
+        self.consumed_at = []  # cycle at which each value was first read
+
+    def ready(self, cycle):
+        return self.cursor < len(self.events) and \
+            cycle >= self.events[self.cursor][0]
+
+    def value(self, cycle):
+        if not self.ready(cycle):
+            return 0
+        _ready, value = self.events[self.cursor]
+        self.consumed_at.append(cycle)
+        self.cursor += 1
+        return value
+
+    def accept(self, cycle, value):
+        raise ValueError("input device is read-only")
+
+
+class RandomInput(ScriptedInput):
+    """Seeded-random arrivals: deterministic per seed, 'external' in spirit."""
+
+    def __init__(self, seed, count, max_gap=500, max_value=1 << 16):
+        rng = random.Random(seed)
+        events = []
+        cycle = 0
+        for _ in range(count):
+            cycle += rng.randrange(1, max_gap)
+            events.append((cycle, rng.randrange(max_value)))
+        super().__init__(events)
+
+
+class Timer(ScriptedInput):
+    """A periodic timer: ready every *period* cycles, value = tick index."""
+
+    def __init__(self, period, ticks):
+        super().__init__([(period * (i + 1), i + 1) for i in range(ticks)])
+
+
+class Actuator:
+    """An output device logging every (cycle, value) written to it."""
+
+    def __init__(self):
+        self.writes = []
+
+    def ready(self, cycle):
+        return 1  # always accepts
+
+    def value(self, cycle):
+        return self.writes[-1][1] if self.writes else 0
+
+    def accept(self, cycle, value):
+        self.writes.append((cycle, value))
+
+
+def attach_input(machine, base_addr, device):
+    """Map an input device's STATUS/VALUE words at *base_addr*."""
+    machine.add_device(base_addr, _StatusPort(device))
+    machine.add_device(base_addr + 4, _ValuePort(device))
+    return device
+
+
+def attach_output(machine, base_addr, device):
+    """Map an output device's STATUS/VALUE words at *base_addr*."""
+    machine.add_device(base_addr, _StatusPort(device))
+    machine.add_device(base_addr + 4, _ValuePort(device))
+    return device

@@ -1,0 +1,421 @@
+"""The LBP machine: cores, interconnect, event queue, simulation loop.
+
+Determinism: the simulation is single-threaded; every queue is ordered by
+(cycle, insertion sequence); stage arbitration uses fixed rotating
+priorities; link and port bandwidth is allocated by monotonic reservation
+cursors.  Two runs of the same program on the same data produce identical
+cycle-by-cycle event traces — the property the paper's claim (1) is about,
+and which `benchmarks/test_determinism.py` checks.
+"""
+
+import heapq
+
+from repro import memmap
+from repro.isa.semantics import LOAD_WIDTH, STORE_WIDTH, load_value
+from repro.machine.core import Core
+from repro.machine.memory import Bank
+from repro.machine.params import Params
+from repro.machine.router import (
+    LinkScheduler,
+    backward_links,
+    forward_links,
+    reply_path,
+    request_path,
+)
+from repro.machine.stats import MachineStats
+from repro.machine.trace import Trace
+
+
+class MachineError(Exception):
+    """A machine-level trap: bad address, bad fork, cycle limit..."""
+
+
+class DeadlockError(MachineError):
+    """No hart can make progress and no event is pending."""
+
+
+class LBP:
+    """One simulated LBP processor instance."""
+
+    def __init__(self, params=None, trace=None):
+        self.params = params or Params()
+        self.stats = MachineStats(self.params.num_cores, self.params.harts_per_core)
+        self.trace = trace or Trace(self.params.trace_enabled)
+        self.cores = [Core(i, self) for i in range(self.params.num_cores)]
+        self.links = LinkScheduler(self.params.link_hop_latency)
+        self.code = {}
+        self.code_bank = Bank(memmap.CODE_BASE, memmap.CODE_SIZE, "code")
+        self.mmio = {}
+        self.cycle = 0
+        self.halted = False
+        self.halt_reason = None
+        self._events = []
+        self._seq = 0
+        self._tag = 0
+        self._error = None
+        self.program = None
+
+    # ---- construction ------------------------------------------------------
+
+    def load(self, program, start=True):
+        """Load a :class:`~repro.asm.program.Program` and start hart 0."""
+        self.program = program
+        self.code = program.instructions
+        for seg in program.code_segments():
+            self.code_bank.load_image(seg.base - memmap.CODE_BASE, seg.data)
+        for seg in program.data_segments():
+            if seg.bank >= self.params.num_cores:
+                raise MachineError(
+                    "data bank %d does not exist on a %d-core machine"
+                    % (seg.bank, self.params.num_cores)
+                )
+            bank = self.cores[seg.bank].mem.shared
+            bank.load_image(seg.base - bank.base, seg.data)
+        if start:
+            boot = self.cores[0].harts[0]
+            boot.regs[2] = memmap.hart_initial_sp(0)
+            boot.start(program.entry, -1)
+        return self
+
+    def add_device(self, addr, device):
+        """Map a device at global address *addr* (word-granular MMIO)."""
+        self.mmio[addr] = device
+
+    # ---- small services used by cores ---------------------------------------
+
+    def next_tag(self):
+        self._tag += 1
+        return self._tag
+
+    def core_after(self, core):
+        index = core.index + 1
+        return self.cores[index] if index < len(self.cores) else None
+
+    def hart_by_gid(self, gid):
+        core_index, hart_index = divmod(gid, self.params.harts_per_core)
+        if core_index >= len(self.cores):
+            self.error("hart id %d does not exist" % gid)
+            return self.cores[0].harts[0]
+        return self.cores[core_index].harts[hart_index]
+
+    def schedule(self, cycle, fn):
+        self._seq += 1
+        heapq.heappush(self._events, (cycle, self._seq, fn))
+
+    def halt(self, reason):
+        self.halted = True
+        self.halt_reason = reason
+        self.stats.cycles = self.cycle + 1
+
+    def error(self, message):
+        if self._error is None:
+            self._error = "cycle %d: %s" % (self.cycle, message)
+
+    def fetch_instruction(self, pc, hart):
+        ins = self.code.get(pc)
+        if ins is None:
+            self.error(
+                "hart %d fetches from non-code address 0x%x" % (hart.gid, pc)
+            )
+            from repro.isa.instruction import Instruction
+            from repro.isa.spec import INSTR_SPECS
+
+            ins = Instruction("ebreak", spec=INSTR_SPECS["ebreak"])
+        return ins
+
+    def cv_address(self, hart, offset):
+        return memmap.hart_cv_base(hart.index) + offset
+
+    # ---- memory accesses -----------------------------------------------------
+
+    def _route_access(self, core, addr):
+        """(bank, t_bank, reply_start→t_done fn, remote) for one access."""
+        now = self.cycle
+        params = self.params
+        if memmap.is_local(addr):
+            port = core.mem.local_port
+            t_bank = port.reserve(now + params.local_mem_latency)
+            return core.mem.local, t_bank, t_bank + 1, False
+        if memmap.is_code(addr):
+            return self.code_bank, now + params.local_mem_latency, \
+                now + params.local_mem_latency + 1, False
+        owner = memmap.owner_core_of(addr, params.num_cores)
+        if owner is None:
+            self.error("access to unmapped address 0x%x" % addr)
+            owner = core.index
+        if owner == core.index:
+            port = core.mem.shared_local_port
+            t_bank = port.reserve(now + params.local_mem_latency)
+            self.stats.local_accesses += 1
+            return core.mem.shared, t_bank, t_bank + 1, False
+        self.stats.remote_accesses += 1
+        t_up = self.links.reserve_path(request_path(core.index, owner), now)
+        owner_core = self.cores[owner]
+        t_bank = owner_core.mem.shared_router_port.reserve(
+            t_up + params.bank_access_latency
+        )
+        t_back = self.links.reserve_path(reply_path(core.index, owner), t_bank)
+        return owner_core.mem.shared, t_bank, t_back + 1, True
+
+    def schedule_load(self, core, hart, tag, ins, addr):
+        width = LOAD_WIDTH[ins.mnemonic]
+        bank, t_bank, t_done, remote = self._route_access(core, addr)
+        hart.rb.occupy(tag, ins.rd)
+        hart.outstanding_mem += 1
+        mnemonic = ins.mnemonic
+        self.trace.record(
+            self.cycle, core.index, hart.index, "mem_load_req",
+            "addr 0x%x bank %s" % (addr, bank.name),
+        )
+
+        def do_read():
+            device = self.mmio.get(addr)
+            if device is not None:
+                raw = device.read(self.cycle) & 0xFFFFFFFF
+            else:
+                try:
+                    raw = bank.read(addr, width)
+                except IndexError as exc:
+                    self.error(str(exc))
+                    raw = 0
+            hart.rb.fill(load_value(mnemonic, raw), t_done)
+            self.trace.record(
+                self.cycle, core.index, hart.index, "mem_load",
+                "addr 0x%x -> 0x%x" % (addr, hart.rb.value),
+            )
+
+        def done():
+            hart.outstanding_mem -= 1
+
+        self.schedule(t_bank, do_read)
+        self.schedule(t_done, done)
+
+    def schedule_store(self, core, hart, tag, ins, addr, value):
+        width = STORE_WIDTH[ins.mnemonic]
+        bank, t_bank, _t_done, remote = self._route_access(core, addr)
+        hart.outstanding_mem += 1
+        rob_entry = core._rob_entry(hart, tag)
+        self.trace.record(
+            self.cycle, core.index, hart.index, "mem_store_req",
+            "addr 0x%x bank %s" % (addr, bank.name),
+        )
+
+        def do_write():
+            device = self.mmio.get(addr)
+            if device is not None:
+                device.write(self.cycle, value & 0xFFFFFFFF)
+            else:
+                try:
+                    bank.write(addr, value, width)
+                except IndexError as exc:
+                    self.error(str(exc))
+            hart.outstanding_mem -= 1
+            rob_entry.done = True
+            self.trace.record(
+                self.cycle, core.index, hart.index, "mem_store",
+                "addr 0x%x <- 0x%x" % (addr, value & 0xFFFFFFFF),
+            )
+
+        self.schedule(t_bank, do_write)
+
+    # ---- X_PAR messages -------------------------------------------------------
+
+    def schedule_cv_write(self, core, hart, tag, target_gid, offset, value):
+        """p_swcv: write into the allocated hart's CV area (forward link)."""
+        target = self.hart_by_gid(target_gid)
+        target_core = target.core
+        try:
+            links = forward_links(core.index, target_core.index)
+        except ValueError as exc:
+            self.error(str(exc))
+            links = []
+        now = self.cycle
+        t_link = self.links.reserve_path(links, now) if links else now
+        t_bank = target_core.mem.local_port.reserve(
+            t_link + self.params.cv_write_latency
+        )
+        addr = memmap.hart_cv_base(target.index) + offset
+        hart.outstanding_mem += 1
+        rob_entry = core._rob_entry(hart, tag)
+
+        def do_write():
+            target_core.mem.local.write(addr, value, 4)
+            hart.outstanding_mem -= 1
+            rob_entry.done = True
+            self.trace.record(
+                self.cycle, core.index, hart.index, "cv_write",
+                "hart %d off %d <- 0x%x" % (target_gid, offset, value & 0xFFFFFFFF),
+            )
+
+        self.schedule(t_bank, do_write)
+
+    def schedule_re_send(self, core, hart, tag, target_gid, index, value):
+        """p_swre: send a result backward to a prior hart's result buffer."""
+        target = self.hart_by_gid(target_gid)
+        if target.core.index > core.index:
+            self.error(
+                "p_swre from hart %d to a later core (hart %d)"
+                % (hart.gid, target_gid)
+            )
+            return
+        links = backward_links(core.index, target.core.index)
+        t_arrive = self.links.reserve_path(links, self.cycle) + 1
+        rob_entry = core._rob_entry(hart, tag)
+        slot = index % len(target.re_buffers)
+
+        def deliver():
+            if target.re_buffers[slot] is not None:
+                self.schedule(self.cycle + 1, deliver)  # flow control: retry
+                return
+            target.re_buffers[slot] = value & 0xFFFFFFFF
+            rob_entry.done = True
+            self.stats.re_messages += 1
+            self.trace.record(
+                self.cycle, core.index, hart.index, "re_send",
+                "hart %d buf %d <- 0x%x" % (target_gid, slot, value & 0xFFFFFFFF),
+            )
+
+        self.schedule(t_arrive, deliver)
+
+    def send_start_pc(self, core, hart, target_gid, pc):
+        """p_jal/p_jalr: start the allocated hart at *pc* (forward link)."""
+        target = self.hart_by_gid(target_gid)
+        try:
+            links = forward_links(core.index, target.core.index)
+        except ValueError as exc:
+            self.error(str(exc))
+            return
+        t = self.links.reserve_path(links, self.cycle) if links else self.cycle
+
+        def start():
+            if not target.reserved:
+                self.error(
+                    "start pc sent to hart %d which was not allocated" % target_gid
+                )
+                return
+            target.start(pc, self.cycle)
+            self.trace.record(
+                self.cycle, target.core.index, target.index, "start",
+                "pc 0x%x" % pc,
+            )
+
+        self.schedule(t + 1, start)
+
+    def send_ending_signal(self, core, hart, succ):
+        """The ordered-release chain between team members."""
+        if succ.core.index == core.index:
+            links = []
+        else:
+            links = forward_links(core.index, succ.core.index)
+        t = self.links.reserve_path(links, self.cycle) if links else self.cycle
+
+        def signal():
+            succ.pred_done = True
+            self.trace.record(
+                self.cycle, core.index, hart.index, "ending_signal",
+                "to hart %d" % succ.gid,
+            )
+
+        self.schedule(t + 1, signal)
+
+    def send_join(self, core, hart, join_gid, addr):
+        """p_ret case 4: the join address travels the backward line."""
+        target = self.hart_by_gid(join_gid)
+        if target.core.index > core.index:
+            self.error(
+                "join from hart %d to a later core (hart %d)" % (hart.gid, join_gid)
+            )
+            return
+        links = backward_links(core.index, target.core.index)
+        t = self.links.reserve_path(links, self.cycle) + 1
+
+        def deliver():
+            self.trace.record(
+                self.cycle, target.core.index, target.index, "join",
+                "resume 0x%x" % addr,
+            )
+            if target.waiting_join:
+                target.start(addr, self.cycle)
+            else:
+                target.pending_join = addr
+
+        self.schedule(t, deliver)
+
+    # ---- the simulation loop ---------------------------------------------------
+
+    def run(self, max_cycles=None):
+        """Run until exit/ebreak; returns :class:`MachineStats`.
+
+        Raises :class:`DeadlockError` when nothing can ever progress and
+        :class:`MachineError` on traps or when *max_cycles* is exceeded.
+        """
+        limit = max_cycles if max_cycles is not None else self.params.max_cycles
+        events = self._events
+        cores = self.cores
+        progress_mark = (0, 0)
+        next_progress_check = 4096
+        while not self.halted:
+            if self.cycle >= next_progress_check:
+                snapshot = (self.stats.retired, self._seq)
+                if snapshot == progress_mark and not events:
+                    raise DeadlockError(self._deadlock_dump())
+                progress_mark = snapshot
+                next_progress_check = self.cycle + 4096
+            if self.cycle > limit:
+                raise MachineError(
+                    "cycle limit exceeded (%d); likely livelock" % limit
+                )
+            while events and events[0][0] <= self.cycle:
+                heapq.heappop(events)[2]()
+            if self.halted:
+                break
+            for core in cores:
+                core.tick()
+            if self._error is not None:
+                raise MachineError(self._error)
+            if self.halted:
+                break
+            self.cycle += 1
+            if not any(core.any_activity_possible() for core in cores):
+                if events:
+                    next_cycle = events[0][0]
+                    if next_cycle > self.cycle:
+                        self.cycle = next_cycle
+                else:
+                    raise DeadlockError(self._deadlock_dump())
+        self.stats.cycles = max(self.stats.cycles, self.cycle)
+        return self.stats
+
+    def _deadlock_dump(self):
+        lines = ["deadlock at cycle %d:" % self.cycle]
+        for core in self.cores:
+            for hart in core.harts:
+                if hart.waiting_join or hart.reserved or not hart.is_idle():
+                    lines.append(
+                        "  hart %d: pc=%r waiting_join=%r reserved=%r it=%d rob=%d"
+                        % (
+                            hart.gid, hart.pc, hart.waiting_join,
+                            hart.reserved, len(hart.it), len(hart.rob),
+                        )
+                    )
+        return "\n".join(lines)
+
+    # ---- debugging / inspection --------------------------------------------------
+
+    def read_word(self, addr):
+        """Read a data word directly (for tests and result extraction)."""
+        if memmap.is_local(addr):
+            raise MachineError("local addresses are per-core; use read_local")
+        owner = memmap.owner_core_of(addr, self.params.num_cores)
+        if owner is None:
+            raise MachineError("unmapped address 0x%x" % addr)
+        return self.cores[owner].mem.shared.read(addr, 4)
+
+    def write_word(self, addr, value):
+        owner = memmap.owner_core_of(addr, self.params.num_cores)
+        if owner is None:
+            raise MachineError("unmapped address 0x%x" % addr)
+        self.cores[owner].mem.shared.write(addr, value, 4)
+
+    def read_local(self, core_index, addr):
+        return self.cores[core_index].mem.local.read(addr, 4)

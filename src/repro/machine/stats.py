@@ -1,0 +1,63 @@
+"""Run statistics: retired instructions, cycles, IPC, memory mix.
+
+The paper's histograms (figs. 19-21) report, per run: number of cycles,
+aggregate IPC, and retired instructions.  :class:`MachineStats` collects
+those plus the supporting detail (per-hart retirement, local vs remote
+memory accesses, forks/joins) used by the locality experiment E7.
+"""
+
+
+class HartStats:
+    __slots__ = ("retired", "loads", "stores", "forks")
+
+    def __init__(self):
+        self.retired = 0
+        self.loads = 0
+        self.stores = 0
+        self.forks = 0
+
+
+class MachineStats:
+    """Aggregated counters for one simulation run."""
+
+    def __init__(self, num_cores, harts_per_core):
+        self.num_cores = num_cores
+        self.harts_per_core = harts_per_core
+        self.cycles = 0
+        self.harts = [
+            [HartStats() for _ in range(harts_per_core)] for _ in range(num_cores)
+        ]
+        self.local_accesses = 0
+        self.remote_accesses = 0
+        self.forks = 0
+        self.joins = 0
+        self.re_messages = 0
+
+    @property
+    def retired(self):
+        return sum(h.retired for core in self.harts for h in core)
+
+    @property
+    def ipc(self):
+        """Aggregate machine IPC (sum over cores, as the paper reports)."""
+        return self.retired / self.cycles if self.cycles else 0.0
+
+    @property
+    def ipc_per_core(self):
+        return self.ipc / self.num_cores
+
+    def retired_by_core(self):
+        return [sum(h.retired for h in core) for core in self.harts]
+
+    def summary(self):
+        """One dict with the figures the paper's histograms use."""
+        return {
+            "cycles": self.cycles,
+            "retired": self.retired,
+            "ipc": round(self.ipc, 3),
+            "ipc_per_core": round(self.ipc_per_core, 4),
+            "local_accesses": self.local_accesses,
+            "remote_accesses": self.remote_accesses,
+            "forks": self.forks,
+            "joins": self.joins,
+        }

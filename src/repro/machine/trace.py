@@ -1,0 +1,44 @@
+"""Cycle event trace.
+
+When enabled, the machine records one tuple per architectural event:
+``(cycle, core, hart, kind, payload)``.  The determinism experiments
+(paper claim: "at cycle 467171, core 55, hart 2 sends a memory request to
+load address 106688 from memory bank 13") simply compare whole traces of
+repeated runs for equality.
+"""
+
+
+class Trace:
+    """An in-memory event trace with optional kind filtering."""
+
+    def __init__(self, enabled=False, kinds=None):
+        self.enabled = enabled
+        #: restrict recording to these kinds (None = all)
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self.events = []
+
+    def record(self, cycle, core, hart, kind, payload):
+        if not self.enabled:
+            return
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        self.events.append((cycle, core, hart, kind, payload))
+
+    def __len__(self):
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def of_kind(self, kind):
+        """All events of one kind, in order."""
+        return [event for event in self.events if event[3] == kind]
+
+    def formatted(self, limit=None):
+        """Human-readable lines in the paper's phrasing."""
+        lines = []
+        for cycle, core, hart, kind, payload in self.events[:limit]:
+            lines.append(
+                "at cycle %d, core %d, hart %d: %s %s" % (cycle, core, hart, kind, payload)
+            )
+        return lines

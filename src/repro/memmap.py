@@ -1,0 +1,76 @@
+"""The LBP physical address map, shared by assembler, compiler and machine.
+
+The paper (fig. 13) gives each core three memory banks: a code bank, a
+local bank holding the core's four hart stacks, and one slice of the
+globally shared memory.  We realise that as three address windows:
+
+* ``CODE``   — ``0x0000_0000 ..`` : the program image, replicated in every
+  core's code bank (a core only ever fetches from its own copy).
+* ``LOCAL``  — ``0x4000_0000 ..`` : core-private; the same address names a
+  different physical bank on every core.  Divided into four hart stacks.
+  The top ``CV_AREA_SIZE`` bytes of each stack are the hart's continuation
+  -value area, addressed by ``p_swcv``/``p_lwcv``.
+* ``GLOBAL`` — ``0x8000_0000 ..`` : the shared space, statically
+  partitioned into one bank per core; remote banks are reached through the
+  r1/r2/r3 router tree.
+
+Everything here is pure data so all packages can import it without cycles.
+"""
+
+CODE_BASE = 0x00000000
+CODE_SIZE = 1 << 20          # 1 MiB program image
+
+LOCAL_BASE = 0x40000000
+LOCAL_SIZE = 1 << 16         # 64 KiB local bank per core
+HARTS_PER_CORE = 4
+STACK_SIZE = LOCAL_SIZE // HARTS_PER_CORE
+CV_AREA_SIZE = 64            # continuation-value area at the top of a stack
+
+GLOBAL_BASE = 0x80000000
+GLOBAL_BANK_SIZE = 1 << 20   # 1 MiB shared bank per core
+
+# Memory-mapped I/O request window: one word per hart inside each
+# controller's shared bank (see machine/io.py).
+IO_REQUEST_OFFSET = GLOBAL_BANK_SIZE - 4096
+
+
+def hart_stack_top(hart):
+    """Local-bank address one past hart *hart*'s stack (0..3)."""
+    return LOCAL_BASE + (hart + 1) * STACK_SIZE
+
+
+def hart_cv_base(hart):
+    """Local-bank address of hart *hart*'s continuation-value area."""
+    return hart_stack_top(hart) - CV_AREA_SIZE
+
+
+def hart_initial_sp(hart):
+    """Initial stack pointer of hart *hart* (just below the CV area)."""
+    return hart_cv_base(hart)
+
+
+def global_bank_base(core):
+    """Base address of core *core*'s shared-memory bank."""
+    return GLOBAL_BASE + core * GLOBAL_BANK_SIZE
+
+
+def owner_core_of(addr, num_cores):
+    """Which core's shared bank holds global address *addr* (or None)."""
+    if addr < GLOBAL_BASE:
+        return None
+    core = (addr - GLOBAL_BASE) // GLOBAL_BANK_SIZE
+    if core >= num_cores:
+        return None
+    return core
+
+
+def is_code(addr):
+    return CODE_BASE <= addr < CODE_BASE + CODE_SIZE
+
+
+def is_local(addr):
+    return LOCAL_BASE <= addr < LOCAL_BASE + LOCAL_SIZE
+
+
+def is_global(addr):
+    return addr >= GLOBAL_BASE

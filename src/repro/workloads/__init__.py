@@ -1,0 +1,14 @@
+"""Workload generators: the paper's evaluation programs, as DetC sources.
+
+* :mod:`repro.workloads.matmul` — the five matrix-multiplication versions
+  of section 7 (base, copy, distributed, d+c, tiled), parametrised by the
+  hart count *h*.
+* :mod:`repro.workloads.setget` — the two-phase producer/consumer vector
+  code of figure 4 (locality + hardware barrier).
+* :mod:`repro.workloads.sensors` — the sensor-fusion I/O application of
+  figure 16.
+"""
+
+from repro.workloads.matmul import MATMUL_VERSIONS, matmul_source, verify_matmul
+
+__all__ = ["MATMUL_VERSIONS", "matmul_source", "verify_matmul"]

@@ -1,0 +1,372 @@
+"""The paper's matrix-multiplication experiment (section 7, figure 18).
+
+Each run multiplies X (h × h/2) by Y (h/2 × h) into Z (h × h), where *h*
+is the hart count (16, 64 or 256 for the 4-, 16- and 64-core machines).
+All inputs are 1, so every Z element must equal h/2 — the verification
+criterion.  Five versions:
+
+* **base** — everything in shared bank 0, the naive parallel loop;
+* **copy** — each thread copies its X line into its local stack first;
+* **distributed** — matrices block-distributed over the banks (the
+  paper's "four lines of X, two lines of Y and four lines of Z in each
+  bank"), placed so each thread's X and Z lines are core-local;
+* **d+c** — distributed placement plus the local X-line copy;
+* **tiled** — the classic five-nested-loop tiled multiplication with a
+  tile-major layout distributed round-robin over the banks (X/Y tiles of
+  h/2 elements, Z tiles of h elements, per the paper).
+
+The sources are generated DetC text; scale factors shrink the *work* per
+thread (columns of Z computed) without changing placement, so the big
+configurations stay simulable in pure Python while keeping the paper's
+communication structure (see DESIGN.md substitutions).
+"""
+
+from repro import memmap
+
+MATMUL_VERSIONS = ("base", "copy", "distributed", "d+c", "tiled")
+
+
+def _isqrt(value):
+    root = int(value ** 0.5)
+    while root * root < value:
+        root += 1
+    return root
+
+
+def _params(h):
+    if h % 4:
+        raise ValueError("h must be a multiple of 4 (harts per core)")
+    return {
+        "H": h,
+        "LX": h, "CX": h // 2,
+        "LY": h // 2, "CY": h,
+        "LZ": h, "CZ": h,
+        "NB": h // 4,          # number of banks = number of cores
+        "S": _isqrt(h),        # tile edge
+    }
+
+
+_COMMON_MAIN = """
+void main() {
+    int t;
+    omp_set_num_threads(%(H)d);
+    #pragma omp parallel for
+    for (t = 0; t < %(H)d; t++)
+        thread(t);
+}
+"""
+
+
+def _ones_global(name, count, bank=None):
+    attr = " __bank(%d)" % bank if bank is not None else ""
+    return "int %s[%d]%s = {[0 ... %d] = 1};\n" % (name, count, attr, count - 1)
+
+
+def _zero_global(name, count, bank=None):
+    attr = " __bank(%d)" % bank if bank is not None else ""
+    return "int %s[%d]%s;\n" % (name, count, attr)
+
+
+def _base_source(p, ck_work):
+    return (
+        "#include <det_omp.h>\n"
+        + _ones_global("X", p["LX"] * p["CX"])
+        + _ones_global("Y", p["LY"] * p["CY"])
+        + _zero_global("Z", p["LZ"] * p["CZ"])
+        + """
+void thread(int t) {
+    int i, j, k, l, tmp;
+    for (l = 0, i = t * (%(LZ)d / %(H)d); l < %(LZ)d / %(H)d; l++, i++)
+        for (j = 0; j < %(CZ)d; j++) {
+            tmp = 0;
+            for (k = 0; k < %(CKW)d; k++)
+                tmp += *(X + (i * %(CX)d + k)) * *(Y + (k * %(CY)d + j));
+            *(Z + (i * %(CZ)d + j)) = tmp;
+        }
+}
+""" % dict(p, CKW=ck_work)
+        + _COMMON_MAIN % p
+    )
+
+
+def _copy_source(p, ck_work):
+    return (
+        "#include <det_omp.h>\n"
+        + _ones_global("X", p["LX"] * p["CX"])
+        + _ones_global("Y", p["LY"] * p["CY"])
+        + _zero_global("Z", p["LZ"] * p["CZ"])
+        + """
+void thread(int t) {
+    int i, j, k, l, tmp;
+    int xl[%(CX)d];
+    for (l = 0, i = t * (%(LZ)d / %(H)d); l < %(LZ)d / %(H)d; l++, i++) {
+        for (k = 0; k < %(CKW)d; k++)
+            xl[k] = *(X + (i * %(CX)d + k));
+        for (j = 0; j < %(CZ)d; j++) {
+            tmp = 0;
+            for (k = 0; k < %(CKW)d; k++)
+                tmp += xl[k] * *(Y + (k * %(CY)d + j));
+            *(Z + (i * %(CZ)d + j)) = tmp;
+        }
+    }
+}
+""" % dict(p, CKW=ck_work)
+        + _COMMON_MAIN % p
+    )
+
+
+def _distributed_decls(p):
+    """Per-bank chunks: 4 X lines, 2 Y lines, 4 Z lines in every bank.
+
+    The interleave is round-robin by line (line i of X in bank i mod NB):
+    it spreads traffic evenly over the banks — the paper's stated goal —
+    but is *locality-blind* (thread t's lines usually live on another
+    core), which is exactly why d+c and tiled improve on it.
+    """
+    parts = []
+    for bank in range(p["NB"]):
+        parts.append(_ones_global("XB%d" % bank, (p["LX"] // p["NB"]) * p["CX"], bank))
+        parts.append(_ones_global("YB%d" % bank, (p["LY"] // p["NB"]) * p["CY"], bank))
+        parts.append(_zero_global("ZB%d" % bank, (p["LZ"] // p["NB"]) * p["CZ"], bank))
+    return "".join(parts)
+
+
+def _distributed_macros(p):
+    """Address macros for the round-robin interleaved layout."""
+    nb = p["NB"]
+    nb_mask = nb - 1
+    nb_shift = nb.bit_length() - 1
+    xline_bytes = 4 * p["CX"]
+    yline_bytes = 4 * p["CY"]
+    zline_bytes = 4 * p["CZ"]
+    yoff = (p["LX"] // nb) * xline_bytes
+    zoff = yoff + (p["LY"] // nb) * yline_bytes
+    return """
+#define GB %dU
+#define XLINE(i) ((int*)(GB + (((unsigned)(i) & %d) << 20) + (((unsigned)(i) >> %d) * %d)))
+#define YLINE(k) ((int*)(GB + (((unsigned)(k) & %d) << 20) + %d + (((unsigned)(k) >> %d) * %d)))
+#define ZLINE(i) ((int*)(GB + (((unsigned)(i) & %d) << 20) + %d + (((unsigned)(i) >> %d) * %d)))
+""" % (
+        memmap.GLOBAL_BASE,
+        nb_mask, nb_shift, xline_bytes,
+        nb_mask, yoff, nb_shift, yline_bytes,
+        nb_mask, zoff, nb_shift, zline_bytes,
+    )
+
+
+def _distributed_source(p, ck_work, with_copy):
+    if with_copy:
+        body = """
+void thread(int t) {
+    int i, j, k, l, tmp;
+    int *zl;
+    int xl[%(CX)d];
+    for (l = 0, i = t * (%(LZ)d / %(H)d); l < %(LZ)d / %(H)d; l++, i++) {
+        int *xp = XLINE(i);
+        for (k = 0; k < %(CKW)d; k++)
+            xl[k] = xp[k];
+        zl = ZLINE(i);
+        for (j = 0; j < %(CZ)d; j++) {
+            tmp = 0;
+            for (k = 0; k < %(CKW)d; k++)
+                tmp += xl[k] * YLINE(k)[j];
+            zl[j] = tmp;
+        }
+    }
+}
+"""
+    else:
+        body = """
+void thread(int t) {
+    int i, j, k, l, tmp;
+    int *xp;
+    int *zl;
+    for (l = 0, i = t * (%(LZ)d / %(H)d); l < %(LZ)d / %(H)d; l++, i++) {
+        xp = XLINE(i);
+        zl = ZLINE(i);
+        for (j = 0; j < %(CZ)d; j++) {
+            tmp = 0;
+            for (k = 0; k < %(CKW)d; k++)
+                tmp += xp[k] * YLINE(k)[j];
+            zl[j] = tmp;
+        }
+    }
+}
+"""
+    return (
+        "#include <det_omp.h>\n"
+        + _distributed_macros(p)
+        + _distributed_decls(p)
+        + body % dict(p, CKW=ck_work)
+        + _COMMON_MAIN % p
+    )
+
+
+def _tiled_decls(p):
+    """Per-bank tile stores: 4 X tiles, 4 Y tiles, 4 Z tiles each."""
+    h, nb = p["H"], p["NB"]
+    xtile = h // 2
+    ztile = h
+    parts = []
+    for bank in range(nb):
+        parts.append(_ones_global("XT%d" % bank, (h // nb) * xtile, bank))
+        parts.append(_ones_global("YT%d" % bank, (h // nb) * xtile, bank))
+        parts.append(_zero_global("ZT%d" % bank, (h // nb) * ztile, bank))
+    return "".join(parts)
+
+
+def _tiled_macros(p):
+    h, nb, s = p["H"], p["NB"], p["S"]
+    tile_bytes = 4 * (h // 2)
+    ztile_bytes = 4 * h
+    ytoff = (h // nb) * tile_bytes
+    ztoff = 2 * ytoff
+    nb_mask = nb - 1
+    nb_shift = nb.bit_length() - 1
+    return """
+#define GB %dU
+#define XTILE(id) ((int*)(GB + (((unsigned)(id) & %d) << 20) + (((unsigned)(id) >> %d) * %d)))
+#define YTILE(id) ((int*)(GB + (((unsigned)(id) & %d) << 20) + %d + (((unsigned)(id) >> %d) * %d)))
+#define ZTILE(t)  ((int*)(GB + (((unsigned)(t) >> 2) << 20) + %d + (((t) & 3) * %d)))
+""" % (
+        memmap.GLOBAL_BASE,
+        nb_mask, nb_shift, tile_bytes,
+        nb_mask, ytoff, nb_shift, tile_bytes,
+        ztoff, ztile_bytes,
+    )
+
+
+def _tiled_kt_passes(p, scale):
+    """Number of k-tile passes at this scale (full scale: S passes)."""
+    return max(1, p["S"] // scale)
+
+
+def _tiled_source(p, scale):
+    s = p["S"]
+    kt_passes = _tiled_kt_passes(p, scale)
+    return (
+        "#include <det_omp.h>\n"
+        + _tiled_macros(p)
+        + _tiled_decls(p)
+        + """
+/* classic five-loop tiled multiplication.  Tiles are copied into the
+ * hart's local stack first: each X tile element is then reused S times
+ * and each Y tile element S times from local memory instead of being
+ * fetched remotely every multiply — the "saves many long distance
+ * communications" of the paper, LBP's cache-less analogue of blocking
+ * for a cache.  Scaling reduces the number of k-tile passes, which
+ * keeps the copy-to-compute and remote-to-local ratios of the full-size
+ * run. */
+void thread(int t) {
+    int tr = t / %(S)d;
+    int tc = t %% %(S)d;
+    int kt, i, j, k, tmp;
+    int xt[%(TILE)d];
+    int yt[%(TILE)d];
+    int *zb = ZTILE(t);
+    for (kt = 0; kt < %(KT)d; kt++) {
+        int *xb = XTILE(tr * %(S)d + kt);
+        int *yb = YTILE(kt * %(S)d + tc);
+        for (k = 0; k < %(TILE)d; k++)
+            xt[k] = xb[k];
+        for (k = 0; k < %(TILE)d; k++)
+            yt[k] = yb[k];
+        for (i = 0; i < %(S)d; i++)
+            for (j = 0; j < %(S)d; j++) {
+                tmp = zb[i * %(S)d + j];
+                for (k = 0; k < %(S)d / 2; k++)
+                    tmp += xt[i * (%(S)d / 2) + k] * yt[k * %(S)d + j];
+                zb[i * %(S)d + j] = tmp;
+            }
+    }
+}
+""" % dict(p, KT=kt_passes, TILE=p["H"] // 2)
+        + _COMMON_MAIN % p
+    )
+
+
+def matmul_source(version, h, scale=1):
+    """DetC source for one matmul version at hart count *h*.
+
+    ``scale`` > 1 shrinks the inner (K) dimension each thread traverses —
+    for the tiled version, the number of k-tile passes.  Placement, team
+    structure, and every version's communication-per-multiply ratio are
+    unchanged, so the comparison between versions stays fair while big
+    configurations stay tractable in pure Python.
+    """
+    p = _params(h)
+    ck_work = max(1, p["CX"] // scale)
+    if version == "base":
+        return _base_source(p, ck_work)
+    if version == "copy":
+        return _copy_source(p, ck_work)
+    if version == "distributed":
+        return _distributed_source(p, ck_work, with_copy=False)
+    if version == "d+c":
+        return _distributed_source(p, ck_work, with_copy=True)
+    if version == "tiled":
+        return _tiled_source(p, scale)
+    raise ValueError("unknown matmul version %r" % (version,))
+
+
+def matmul_expected_value(version, h, scale=1):
+    """The value every computed Z element holds (all-ones inputs)."""
+    p = _params(h)
+    if version == "tiled":
+        return _tiled_kt_passes(p, scale) * (p["S"] // 2)
+    return max(1, p["CX"] // scale)
+
+
+def matmul_sequential_source(h, scale=1):
+    """The same multiplication with a plain sequential loop (no pragma).
+
+    Used by experiment E5 to measure the parallelization overhead in
+    retired instructions: same thread function, same call sequence, no
+    team creation.
+    """
+    p = _params(h)
+    ck_work = max(1, p["CX"] // scale)
+    source = _base_source(p, ck_work)
+    return source.replace("    #pragma omp parallel for\n", "")
+
+
+def _z_sample_addresses(version, h, program, scale):
+    """(address, expected) samples covering every thread's output."""
+    p = _params(h)
+    expected = matmul_expected_value(version, h, scale)
+    samples = []
+    if version in ("base", "copy"):
+        base = program.symbol("Z")
+        for i in range(p["LZ"]):
+            for j in (0, p["CZ"] - 1):
+                samples.append((base + 4 * (i * p["CZ"] + j), expected))
+    elif version in ("distributed", "d+c"):
+        nb = p["NB"]
+        zoff = (p["LX"] // nb) * 4 * p["CX"] + (p["LY"] // nb) * 4 * p["CY"]
+        for i in range(p["LZ"]):
+            bank_base = memmap.global_bank_base(i % nb)
+            line = bank_base + zoff + (i // nb) * 4 * p["CZ"]
+            for j in (0, p["CZ"] - 1):
+                samples.append((line + 4 * j, expected))
+    else:  # tiled
+        s = p["S"]
+        ztoff = 2 * ((h // p["NB"]) * 4 * (h // 2))
+        for t in range(h):
+            bank_base = memmap.global_bank_base(t >> 2)
+            tile = bank_base + ztoff + (t & 3) * 4 * h
+            for i in (0, s - 1):
+                for j in (0, s - 1):
+                    samples.append((tile + 4 * (i * s + j), expected))
+    return samples
+
+
+def verify_matmul(machine, program, version, h, scale=1):
+    """Check the computed Z samples; raises AssertionError on mismatch."""
+    for addr, expected in _z_sample_addresses(version, h, program, scale):
+        actual = machine.read_word(addr)
+        if actual != expected:
+            raise AssertionError(
+                "matmul %s h=%d: Z word at 0x%x is %d, expected %d"
+                % (version, h, addr, actual, expected)
+            )
+    return True

@@ -1,0 +1,103 @@
+"""The paper's figure-16 sensor-fusion application.
+
+Four sensors respond in a non-deterministic order; a team of four harts
+polls them in parallel (``parallel sections``), the join orders the
+fusion after all four inputs, and the fused value goes to an actuator.
+LBP takes no interrupt anywhere: inputs are active waits, and the
+position of the input code in the static program fixes the semantics —
+the fusion of round *r* always combines the four round-*r* samples, no
+matter in which order they arrived (referential sequential order).
+
+Sensor devices sit in the last core's shared bank, the actuator in core
+0's bank (paper fig. 17's controller placement).
+"""
+
+from repro import memmap
+from repro.machine.io import Actuator, RandomInput, ScriptedInput, attach_input, attach_output
+
+#: byte offset of the device window inside a shared bank
+DEVICE_WINDOW = 0x80000
+
+
+def sensor_addr(num_cores, index):
+    """MMIO base of sensor *index* (in the last core's bank)."""
+    return memmap.global_bank_base(num_cores - 1) + DEVICE_WINDOW + 16 * index
+
+
+def actuator_addr():
+    """MMIO base of the actuator (in core 0's bank)."""
+    return memmap.global_bank_base(0) + DEVICE_WINDOW
+
+
+def sensors_source(num_cores, rounds):
+    """DetC source of the fusion loop (figure 16, with a bounded loop)."""
+    addrs = [sensor_addr(num_cores, i) for i in range(4)]
+    act = actuator_addr()
+    sections = "\n".join(
+        """        #pragma omp section
+        { get_sensor%d(); }""" % i for i in range(4)
+    )
+    getters = "\n".join(
+        """
+void get_sensor%(i)d(void) {
+    while (*(int*)%(status)dU == 0)
+        ;                     /* active wait: no interrupt on LBP */
+    s[%(i)d] = *(int*)%(value)dU;
+}""" % {"i": i, "status": addrs[i], "value": addrs[i] + 4}
+        for i in range(4)
+    )
+    return """
+#include <det_omp.h>
+int s[4];
+int f;
+%(getters)s
+
+int fusion(void) {
+    return (s[0] + s[1] + s[2] + s[3]) / 4;
+}
+
+void main() {
+    int r;
+    for (r = 0; r < %(rounds)d; r++) {
+        #pragma omp parallel sections
+        {
+%(sections)s
+        }
+        f = fusion();
+        *(int*)%(act_value)dU = f;   /* set_actuator */
+    }
+}
+""" % {
+        "getters": getters,
+        "sections": sections,
+        "rounds": rounds,
+        "act_value": act + 4,
+    }
+
+
+def attach_sensors(machine, num_cores, schedules):
+    """Attach four input sensors + the actuator; returns (sensors, actuator).
+
+    ``schedules`` is a list of four event lists ``[(ready_cycle, value)]``
+    (or already-built device objects, e.g. :class:`RandomInput`).
+    """
+    sensors = []
+    for index, schedule in enumerate(schedules):
+        device = schedule if hasattr(schedule, "ready") else ScriptedInput(schedule)
+        attach_input(machine, sensor_addr(num_cores, index), device)
+        sensors.append(device)
+    actuator = attach_output(machine, actuator_addr(), Actuator())
+    return sensors, actuator
+
+
+def expected_fusions(schedules, rounds):
+    """Reference fused outputs: round r combines each sensor's r-th value."""
+    out = []
+    for r in range(rounds):
+        total = 0
+        for device_events in schedules:
+            events = device_events.events if hasattr(device_events, "events") \
+                else sorted(device_events)
+            total += events[r][1]
+        out.append((total & 0xFFFFFFFF) // 4 if total >= 0 else total // 4)
+    return out

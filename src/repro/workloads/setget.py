@@ -1,0 +1,90 @@
+"""The paper's figure-4 two-phase vector workload.
+
+A first parallel loop (*set*) initialises a vector chunk per hart; a
+second parallel loop (*get*) consumes the same chunks.  Because teams are
+placed identically in both phases and the chunks are placed in the bank
+of the core that processes them, **every data access is core-local**, and
+the ordering between the phases is enforced purely by the hardware
+barrier (the ordered ``p_ret`` chain + join) — no OS, no flush, no
+coherence protocol.
+
+Experiment E7 checks both properties: the sums are correct (barrier
+works) and the number of remote accesses does not grow with the data size
+(locality: only the tiny per-region capture records are remote).
+"""
+
+from repro import memmap
+
+
+def setget_source(h, chunk=64):
+    """DetC source: h harts, each setting then getting a *chunk*-word slice."""
+    if h % 4:
+        raise ValueError("h must be a multiple of 4")
+    nb = h // 4
+    decls = []
+    for bank in range(nb):
+        decls.append("int VB%d[%d] __bank(%d);\n" % (bank, 4 * chunk, bank))
+        decls.append("int RB%d[4] __bank(%d);\n" % (bank, bank))
+    voff = 0
+    roff = 4 * 4 * chunk  # results after the 4 chunks
+    return (
+        "#include <det_omp.h>\n"
+        + "".join(decls)
+        + """
+#define GB %(gb)dU
+#define CHUNK(t) ((int*)(GB + (((unsigned)(t) >> 2) << 20) + ((t) & 3) * %(chunk_bytes)d))
+#define RES(t)   ((int*)(GB + (((unsigned)(t) >> 2) << 20) + %(roff)d + ((t) & 3) * 4))
+
+void thread_set(int v_unused, int t) {
+    int i;
+    int *p = CHUNK(t);
+    for (i = 0; i < %(chunk)d; i++)
+        p[i] = t * 1000 + i;
+}
+
+void thread_get(int v_unused, int t) {
+    int i, sum;
+    int *p = CHUNK(t);
+    sum = 0;
+    for (i = 0; i < %(chunk)d; i++)
+        sum += p[i];
+    *RES(t) = sum;
+}
+
+void main() {
+    int t;
+    omp_set_num_threads(%(h)d);
+    #pragma omp parallel for
+    for (t = 0; t < %(h)d; t++)
+        thread_set(0, t);
+    #pragma omp parallel for
+    for (t = 0; t < %(h)d; t++)
+        thread_get(0, t);
+}
+""" % {
+            "gb": memmap.GLOBAL_BASE,
+            "chunk": chunk,
+            "chunk_bytes": 4 * chunk,
+            "roff": roff,
+            "h": h,
+        }
+    )
+
+
+def expected_sum(t, chunk=64):
+    """Reference sum for chunk *t*."""
+    return sum(t * 1000 + i for i in range(chunk))
+
+
+def verify_setget(machine, h, chunk=64):
+    """Check every per-chunk sum; raises AssertionError on mismatch."""
+    roff = 4 * 4 * chunk
+    for t in range(h):
+        addr = memmap.global_bank_base(t >> 2) + roff + (t & 3) * 4
+        actual = machine.read_word(addr)
+        if actual != expected_sum(t, chunk) & 0xFFFFFFFF:
+            raise AssertionError(
+                "setget: chunk %d sum is %d, expected %d"
+                % (t, actual, expected_sum(t, chunk))
+            )
+    return True

@@ -1,0 +1,67 @@
+"""Experiment V1: the fast simulator against the cycle-accurate model.
+
+Contract: retired-instruction counts are *exact* (same dynamic
+instruction stream); cycle counts agree within a validated tolerance on
+every workload shape we care about; results (memory contents) are
+identical.
+"""
+
+import pytest
+
+from repro.compiler import compile_to_program
+from repro.fastsim import FastLBP
+from repro.machine import LBP, Params
+from repro.workloads.matmul import MATMUL_VERSIONS, matmul_source, verify_matmul
+from repro.workloads.setget import setget_source, verify_setget
+
+TOLERANCE = 0.30  # fastsim cycle counts within 30% of cycle-accurate
+
+
+def _both(program, cores, max_cycles=20_000_000):
+    slow = LBP(Params(num_cores=cores)).load(program)
+    slow_stats = slow.run(max_cycles=max_cycles)
+    fast = FastLBP(Params(num_cores=cores)).load(program)
+    fast_stats = fast.run(max_cycles=max_cycles)
+    return slow, slow_stats, fast, fast_stats
+
+
+@pytest.mark.parametrize("version", MATMUL_VERSIONS)
+def test_matmul_agreement(version):
+    program = compile_to_program(matmul_source(version, 16), "mm.c")
+    slow, slow_stats, fast, fast_stats = _both(program, 4)
+    verify_matmul(slow, program, version, 16)
+    verify_matmul(fast, program, version, 16)
+    assert fast_stats.retired == slow_stats.retired, version
+    ratio = fast_stats.cycles / slow_stats.cycles
+    assert 1.0 - TOLERANCE < ratio < 1.0 + TOLERANCE, (version, ratio)
+
+
+def test_setget_agreement():
+    program = compile_to_program(setget_source(16, 32), "sg.c")
+    slow, slow_stats, fast, fast_stats = _both(program, 4)
+    verify_setget(slow, 16, 32)
+    verify_setget(fast, 16, 32)
+    assert fast_stats.retired == slow_stats.retired
+    ratio = fast_stats.cycles / slow_stats.cycles
+    assert 1.0 - TOLERANCE < ratio < 1.0 + TOLERANCE, ratio
+
+
+def test_relative_ordering_preserved():
+    """The figure conclusions must not depend on which simulator ran."""
+    cycles = {"cycle": {}, "fast": {}}
+    for version in ("base", "copy"):
+        program = compile_to_program(matmul_source(version, 16), "mm.c")
+        slow, slow_stats, fast, fast_stats = _both(program, 4)
+        cycles["cycle"][version] = slow_stats.cycles
+        cycles["fast"][version] = fast_stats.cycles
+    slow_order = cycles["cycle"]["copy"] < cycles["cycle"]["base"]
+    fast_order = cycles["fast"]["copy"] < cycles["fast"]["base"]
+    assert slow_order == fast_order
+
+
+def test_fastsim_is_deterministic():
+    program = compile_to_program(matmul_source("base", 16), "mm.c")
+    first = FastLBP(Params(num_cores=4)).load(program).run(max_cycles=20_000_000)
+    second = FastLBP(Params(num_cores=4)).load(program).run(max_cycles=20_000_000)
+    assert first.cycles == second.cycles
+    assert first.retired == second.retired

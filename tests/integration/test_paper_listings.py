@@ -1,0 +1,155 @@
+"""The paper's own listings, close to verbatim, through the full stack.
+
+Figure 1 (the canonical Deterministic OpenMP program), figure 18 (the
+matrix multiplication source) and figure 16 (the sensor application
+structure) are the paper's published DetC surface; they must compile and
+run unmodified apart from device addresses (figure 16 abstracts them).
+"""
+
+from repro.compiler import compile_to_program
+from repro.machine import LBP, Params
+from helpers import run_c, word
+
+
+def test_figure_1_program_shape():
+    """Figure 1: omp_set_num_threads + parallel for over a thread function."""
+    source = """
+#include <det_omp.h>
+#define NUM_HART 8
+
+int done[NUM_HART];
+
+void thread(int t) {
+    done[t] = 1;
+}
+
+void main() {
+    int t;
+    omp_set_num_threads(NUM_HART);
+    #pragma omp parallel for
+    for (t = 0; t < NUM_HART; t++)
+        thread(t);
+    /* ... (2); */
+}
+"""
+    program, machine, stats = run_c(source, cores=2)
+    assert [word(machine, program, "done", i) for i in range(8)] == [1] * 8
+    assert stats.forks == 7
+
+
+def test_figure_18_verbatim_matmul():
+    """Figure 18's source, spacing and idioms preserved (h=16 instance)."""
+    source = """
+#include <stdio.h>
+#include <det_omp.h>
+#define LINE_X 16
+#define COLUMN_X 8
+#define LINE_Y 8
+#define COLUMN_Y 16
+#define LINE_Z 16
+#define COLUMN_Z 16
+#define NUM_HART 16
+
+int X[LINE_X*COLUMN_X]={[0 ... LINE_X*COLUMN_X-1]=1};
+int Y[LINE_Y*COLUMN_Y]={[0 ... LINE_Y*COLUMN_Y-1]=1};
+int Z[LINE_Z*COLUMN_Z];
+
+void thread(int t){
+    int i, j, k, l, tmp;
+    for (l=0, i=t*LINE_Z/NUM_HART; l<LINE_Z/NUM_HART; l++, i++)
+        for (j=0; j<COLUMN_Z; j++) {
+            tmp=0;
+            for (k=0; k<COLUMN_X; k++)
+                tmp+=*(X+(i*COLUMN_X+k)) * *(Y+(k*COLUMN_Y+j));
+            *(Z+(i*COLUMN_Z+j))=tmp;
+        }
+}
+
+void main(){
+    int t;
+    omp_set_num_threads(NUM_HART);
+    #pragma omp parallel for
+    for (t=0; t<NUM_HART; t++)
+        thread(t);
+}
+"""
+    program, machine, stats = run_c(source, cores=4, max_cycles=10_000_000)
+    base = program.symbol("Z")
+    for index in (0, 5, 100, 255):
+        assert machine.read_word(base + 4 * index) == 8  # COLUMN_X ones
+    assert stats.forks == 15
+    assert stats.joins == 1
+
+
+def test_figure_16_structure_with_sections():
+    """Figure 16's while-loop of parallel sections + fusion, 2 rounds."""
+    from repro.machine.io import ScriptedInput, attach_input
+    from repro import memmap
+
+    dev = memmap.global_bank_base(3) + 0x80000
+    source = """
+#include <det_omp.h>
+int s[4], f;
+int log_[2];
+
+void get_sensor0(void) { while (*(int*)%(s0)dU == 0); s[0] = *(int*)%(v0)dU; }
+void get_sensor1(void) { while (*(int*)%(s1)dU == 0); s[1] = *(int*)%(v1)dU; }
+void get_sensor2(void) { while (*(int*)%(s2)dU == 0); s[2] = *(int*)%(v2)dU; }
+void get_sensor3(void) { while (*(int*)%(s3)dU == 0); s[3] = *(int*)%(v3)dU; }
+
+int fusion(void) { return (s[0] + s[1] + s[2] + s[3]) / 4; }
+
+void main() {
+    int r;
+    for (r = 0; r < 2; r++) {       /* the paper's while(1), bounded */
+        #pragma omp parallel sections
+        {
+            #pragma omp section
+            { get_sensor0(); }
+            #pragma omp section
+            { get_sensor1(); }
+            #pragma omp section
+            { get_sensor2(); }
+            #pragma omp section
+            { get_sensor3(); }
+        }
+        f = fusion();
+        log_[r] = f;                /* set_actuator stand-in */
+    }
+}
+""" % {"s0": dev, "v0": dev + 4, "s1": dev + 16, "v1": dev + 20,
+       "s2": dev + 32, "v2": dev + 36, "s3": dev + 48, "v3": dev + 52}
+    program = compile_to_program(source, "fig16.c")
+    machine = LBP(Params(num_cores=4)).load(program)
+    for i in range(4):
+        attach_input(machine, dev + 16 * i,
+                     ScriptedInput([(100 + 7 * i, 10 + i), (600 + 5 * i, 20 + i)]))
+    machine.run(max_cycles=5_000_000)
+    base = program.symbol("log_")
+    assert machine.read_word(base) == (10 + 11 + 12 + 13) // 4
+    assert machine.read_word(base + 4) == (20 + 21 + 22 + 23) // 4
+
+
+def test_figure_2_style_explicit_thread_function_with_struct():
+    """Figure 2's struct-argument pattern, via globals (shared memory)."""
+    source = """
+#include <det_omp.h>
+typedef struct type_s { int t; int scale; } type_t;
+type_t st;
+int out[4];
+
+void thread(type_t *pt, int t) {
+    out[t] = pt->scale * t;
+}
+
+void main() {
+    int t;
+    st.scale = 7;
+    omp_set_num_threads(4);
+    #pragma omp parallel for
+    for (t = 0; t < 4; t++)
+        thread(&st, t);
+}
+"""
+    program, machine, _ = run_c(source, cores=1)
+    assert [word(machine, program, "out", i) for i in range(4)] == [0, 7, 14, 21]

@@ -1,0 +1,170 @@
+"""The OpenMP reduction clause (paper §4: team-produced reduction values).
+
+Lowered as: each member accumulates into a private copy initialised to
+the operator's identity, leaves its partial in the region's reduction
+array, and the hardware barrier (ordered p_ret commits drain stores)
+makes every partial visible before the join hart combines them.
+"""
+
+import pytest
+
+from repro.compiler import compile_c
+from repro.fastsim import FastLBP
+from repro.machine import Params
+from repro.compiler import compile_to_program
+from helpers import run_c, word
+
+
+def test_sum_reduction():
+    source = """
+#include <det_omp.h>
+int v[16] = {[0 ... 15] = 3};
+int total;
+void main() {
+    int t;
+    int sum = 100;
+    #pragma omp parallel for reduction(+:sum)
+    for (t = 0; t < 16; t++)
+        sum += v[t] * t;
+    total = sum;
+}
+"""
+    program, machine, _ = run_c(source, cores=4)
+    assert word(machine, program, "total") == 100 + sum(3 * t for t in range(16))
+
+
+def test_product_reduction():
+    source = """
+#include <det_omp.h>
+int prod;
+void main() {
+    int t;
+    int p = 1;
+    #pragma omp parallel for reduction(*:p)
+    for (t = 1; t < 6; t++)
+        p *= t;
+    prod = p;
+}
+"""
+    program, machine, _ = run_c(source, cores=2)
+    assert word(machine, program, "prod") == 120
+
+
+@pytest.mark.parametrize("op,expected", [
+    ("|", 0xFF), ("^", 0xFF), ("&", 0)])
+def test_bitwise_reductions(op, expected):
+    source = """
+#include <det_omp.h>
+int out;
+void main() {
+    int t;
+    int acc = %s;
+    #pragma omp parallel for reduction(%s:acc)
+    for (t = 0; t < 8; t++)
+        acc = acc %s (1 << t);
+    out = acc;
+}
+""" % ("0" if op in "|^" else "-1", op, op)
+    program, machine, _ = run_c(source, cores=2)
+    assert word(machine, program, "out") == expected
+
+
+def test_reduction_on_global_variable():
+    source = """
+#include <det_omp.h>
+int gsum;
+void main() {
+    int t;
+    gsum = 5;
+    #pragma omp parallel for reduction(+:gsum)
+    for (t = 0; t < 12; t++)
+        gsum += t;
+    /* after the region, gsum holds the combined value */
+}
+"""
+    program, machine, _ = run_c(source, cores=3)
+    assert word(machine, program, "gsum") == 5 + sum(range(12))
+
+
+def test_reduction_with_captures_and_start():
+    source = """
+#include <det_omp.h>
+int out;
+void main() {
+    int t;
+    int weight = 2;
+    int sum = 0;
+    #pragma omp parallel for reduction(+:sum)
+    for (t = 3; t < 11; t++)
+        sum += weight * t;
+    out = sum;
+}
+"""
+    program, machine, _ = run_c(source, cores=2)
+    assert word(machine, program, "out") == sum(2 * t for t in range(3, 11))
+
+
+def test_reduction_deterministic_and_order_independent():
+    """Partials combine in member order — the result never varies."""
+    source = """
+#include <det_omp.h>
+int out;
+void main() {
+    int t;
+    int sum = 0;
+    #pragma omp parallel for reduction(+:sum)
+    for (t = 0; t < 16; t++)
+        sum += t * t;
+    out = sum;
+}
+"""
+    results = set()
+    cycle_counts = set()
+    for _ in range(3):
+        program, machine, stats = run_c(source, cores=4)
+        results.add(word(machine, program, "out"))
+        cycle_counts.add(stats.cycles)
+    assert results == {sum(t * t for t in range(16))}
+    assert len(cycle_counts) == 1
+
+
+def test_reduction_on_fast_simulator():
+    source = """
+#include <det_omp.h>
+int out;
+void main() {
+    int t;
+    int sum = 0;
+    #pragma omp parallel for reduction(+:sum)
+    for (t = 0; t < 32; t++)
+        sum += t;
+    out = sum;
+}
+"""
+    program = compile_to_program(source, "red.c")
+    machine = FastLBP(Params(num_cores=8)).load(program)
+    machine.run(max_cycles=10_000_000)
+    assert machine.read_word(program.symbol("out")) == sum(range(32))
+
+
+def test_two_reductions_in_sequence():
+    source = """
+#include <det_omp.h>
+int a; int b;
+void main() {
+    int t;
+    int s1 = 0;
+    int s2 = 0;
+    #pragma omp parallel for reduction(+:s1)
+    for (t = 0; t < 8; t++)
+        s1 += t;
+    #pragma omp parallel for reduction(+:s2)
+    for (t = 0; t < 8; t++)
+        s2 += s1;          /* captures the first result */
+    a = s1;
+    b = s2;
+}
+"""
+    program, machine, _ = run_c(source, cores=2)
+    assert word(machine, program, "a") == 28
+    assert word(machine, program, "b") == 28 * 8

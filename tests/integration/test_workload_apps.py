@@ -1,0 +1,74 @@
+"""Integration: the figure-4 and figure-16 applications end to end."""
+
+from repro.compiler import compile_to_program
+from repro.machine import LBP, Params
+from repro.machine.io import RandomInput
+from repro.workloads.sensors import (
+    attach_sensors,
+    expected_fusions,
+    sensors_source,
+)
+from repro.workloads.setget import expected_sum, setget_source, verify_setget
+
+
+def _run_sensors(schedules, rounds, cores=4):
+    program = compile_to_program(sensors_source(cores, rounds), "sensors.c")
+    machine = LBP(Params(num_cores=cores)).load(program)
+    sensors, actuator = attach_sensors(machine, cores, schedules)
+    stats = machine.run(max_cycles=10_000_000)
+    return sensors, actuator, stats
+
+
+def test_setget_sums_and_locality():
+    program = compile_to_program(setget_source(16, 48), "sg.c")
+    machine = LBP(Params(num_cores=4)).load(program)
+    stats = machine.run(max_cycles=20_000_000)
+    verify_setget(machine, 16, 48)
+    assert stats.remote_accesses == 0
+    assert expected_sum(0, 48) == sum(range(48))
+
+
+def test_setget_single_core():
+    program = compile_to_program(setget_source(4, 16), "sg.c")
+    machine = LBP(Params(num_cores=1)).load(program)
+    machine.run(max_cycles=5_000_000)
+    verify_setget(machine, 4, 16)
+
+
+def test_sensor_fusion_scripted():
+    rounds = 3
+    schedules = [
+        [(300 * (r + 1) + 11 * i, 5 * r + i) for r in range(rounds)]
+        for i in range(4)
+    ]
+    _sensors, actuator, _stats = _run_sensors(schedules, rounds)
+    assert [v for _c, v in actuator.writes] == expected_fusions(schedules, rounds)
+
+
+def test_sensor_fusion_random_arrival_order_is_harmless():
+    """Sensors answer in any order; each round still fuses its own samples."""
+    rounds = 4
+    for seed in (5, 6):
+        schedules = [RandomInput(seed * 7 + i, rounds, max_gap=600)
+                     for i in range(4)]
+        sensors, actuator, _stats = _run_sensors(schedules, rounds)
+        assert [v for _c, v in actuator.writes] == expected_fusions(sensors, rounds)
+
+
+def test_sensor_fusion_repeatable():
+    rounds = 2
+    schedules = [[(500 * (r + 1) + 13 * i, r * 10 + i) for r in range(rounds)]
+                 for i in range(4)]
+    _s1, act1, stats1 = _run_sensors(schedules, rounds)
+    _s2, act2, stats2 = _run_sensors(schedules, rounds)
+    assert act1.writes == act2.writes           # identical values AND cycles
+    assert stats1.cycles == stats2.cycles
+
+
+def test_sensor_consumption_cycles_recorded():
+    rounds = 1
+    schedules = [[(200, 10 + i)] for i in range(4)]
+    sensors, _actuator, _stats = _run_sensors(schedules, rounds)
+    for device in sensors:
+        assert len(device.consumed_at) == 1
+        assert device.consumed_at[0] >= 200     # never consumed before ready

@@ -1,0 +1,57 @@
+"""Property: binary encode/decode round-trips for every instruction."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import INSTR_SPECS, Instruction, decode_word, encode_instruction
+
+_SPECS = sorted(INSTR_SPECS.values(), key=lambda s: s.mnemonic)
+
+regs = st.integers(min_value=0, max_value=31)
+
+
+def _imm_strategy(spec):
+    if spec.mnemonic in ("slli", "srli", "srai"):
+        return st.integers(0, 31)
+    if spec.fmt == "I" or spec.fmt == "S":
+        return st.integers(-2048, 2047)
+    if spec.fmt == "B":
+        return st.integers(-2048, 2047).map(lambda v: v * 2)
+    if spec.fmt == "U":
+        return st.integers(0, (1 << 20) - 1)
+    if spec.fmt == "J":
+        return st.integers(-(1 << 19), (1 << 19) - 1).map(lambda v: v * 2)
+    return st.just(0)
+
+
+@st.composite
+def instructions(draw):
+    spec = draw(st.sampled_from(_SPECS))
+    if spec.opcode == 0b1110011:  # SYSTEM has fixed operands
+        return Instruction(spec.mnemonic, spec=spec)
+    shape = spec.operands
+    ins = Instruction(spec.mnemonic, spec=spec)
+    if "rd" in shape:
+        ins.rd = draw(regs)
+    if "rs1" in shape:
+        ins.rs1 = draw(regs)
+    if "rs2" in shape:
+        ins.rs2 = draw(regs)
+    if "imm" in shape or "label" in shape:
+        ins.imm = draw(_imm_strategy(spec))
+    return ins
+
+
+@given(instructions())
+@settings(max_examples=400)
+def test_encode_decode_round_trip(ins):
+    word = encode_instruction(ins)
+    assert 0 <= word < (1 << 32)
+    decoded = decode_word(word)
+    assert decoded == ins
+
+
+@given(instructions(), instructions())
+@settings(max_examples=200)
+def test_distinct_instructions_encode_distinctly(a, b):
+    if a != b:
+        assert encode_instruction(a) != encode_instruction(b)

@@ -1,0 +1,81 @@
+"""Property: the 32-bit ALU semantics against Python big-int references."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.semantics import ALU_OPS, BRANCH_OPS, to_signed, to_unsigned
+
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+@given(u32, u32)
+@settings(max_examples=300)
+def test_wrapping_ops(a, b):
+    assert ALU_OPS["add"](a, b) == (a + b) % (1 << 32)
+    assert ALU_OPS["sub"](a, b) == (a - b) % (1 << 32)
+    assert ALU_OPS["mul"](a, b) == (a * b) % (1 << 32)
+    assert ALU_OPS["and"](a, b) == a & b
+    assert ALU_OPS["or"](a, b) == a | b
+    assert ALU_OPS["xor"](a, b) == a ^ b
+
+
+@given(u32, st.integers(0, 31))
+@settings(max_examples=200)
+def test_shifts_reference(a, sh):
+    assert ALU_OPS["sll"](a, sh) == (a << sh) % (1 << 32)
+    assert ALU_OPS["srl"](a, sh) == a >> sh
+    assert ALU_OPS["sra"](a, sh) == to_unsigned(to_signed(a) >> sh)
+
+
+@given(u32, u32)
+@settings(max_examples=300)
+def test_signed_division_reference(a, b):
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        assert ALU_OPS["div"](a, b) == 0xFFFFFFFF
+        assert ALU_OPS["rem"](a, b) == a
+    elif sa == -(1 << 31) and sb == -1:
+        assert ALU_OPS["div"](a, b) == 0x80000000
+        assert ALU_OPS["rem"](a, b) == 0
+    else:
+        # C-style truncation toward zero
+        quotient = int(sa / sb)
+        remainder = sa - quotient * sb
+        assert to_signed(ALU_OPS["div"](a, b)) == quotient
+        assert to_signed(ALU_OPS["rem"](a, b)) == remainder
+
+
+@given(u32, u32)
+@settings(max_examples=200)
+def test_unsigned_division_reference(a, b):
+    if b == 0:
+        assert ALU_OPS["divu"](a, b) == 0xFFFFFFFF
+        assert ALU_OPS["remu"](a, b) == a
+    else:
+        assert ALU_OPS["divu"](a, b) == a // b
+        assert ALU_OPS["remu"](a, b) == a % b
+
+
+@given(u32, u32)
+@settings(max_examples=200)
+def test_mulh_identity(a, b):
+    """(mulh << 32) | mul reconstructs the full signed product."""
+    full = to_signed(a) * to_signed(b)
+    high = ALU_OPS["mulh"](a, b)
+    low = ALU_OPS["mul"](a, b)
+    assert (to_signed(high) << 32) | low == full
+
+
+@given(u32, u32)
+@settings(max_examples=200)
+def test_branch_consistency(a, b):
+    assert BRANCH_OPS["beq"](a, b) == (not BRANCH_OPS["bne"](a, b))
+    assert BRANCH_OPS["blt"](a, b) == (not BRANCH_OPS["bge"](a, b))
+    assert BRANCH_OPS["bltu"](a, b) == (not BRANCH_OPS["bgeu"](a, b))
+    assert BRANCH_OPS["blt"](a, b) == (to_signed(a) < to_signed(b))
+    assert BRANCH_OPS["bltu"](a, b) == (a < b)
+
+
+@given(u32)
+@settings(max_examples=200)
+def test_sign_conversions_inverse(a):
+    assert to_unsigned(to_signed(a)) == a

@@ -1,0 +1,67 @@
+"""Baseline models: classic SMP scheduler and the Xeon-Phi analytic model."""
+
+import pytest
+
+from repro.baselines import ClassicSMP, XeonPhiModel
+
+
+def test_classic_smp_same_seed_identical():
+    tasks = [10_000] * 8
+    first = ClassicSMP(num_cores=4, seed=7).run_tasks(tasks)
+    second = ClassicSMP(num_cores=4, seed=7).run_tasks(tasks)
+    assert first.cycles == second.cycles
+    assert first.trace == second.trace
+
+
+def test_classic_smp_different_seeds_differ():
+    tasks = [50_000] * 8
+    cycles = {
+        ClassicSMP(num_cores=4, seed=seed).run_tasks(tasks).cycles
+        for seed in range(6)
+    }
+    assert len(cycles) > 1
+
+
+def test_classic_smp_counts_interrupts_and_migrations():
+    tasks = [100_000] * 8
+    stats = ClassicSMP(num_cores=4, seed=3).run_tasks(tasks)
+    assert stats.interrupts > 0
+    # every task completed
+    assert all(task.end is not None for task in stats.tasks)
+    assert stats.cycles >= max(task.end for task in stats.tasks) - 1
+
+
+def test_classic_smp_run_many_spread():
+    tasks = [40_000] * 8
+    lowest, average, highest = ClassicSMP(num_cores=4, seed=0).run_many(tasks, 10)
+    assert lowest <= average <= highest
+    assert highest > lowest
+
+
+def test_classic_smp_more_cores_faster():
+    tasks = [80_000] * 16
+    slow = ClassicSMP(num_cores=2, seed=1).run_tasks(tasks).cycles
+    fast = ClassicSMP(num_cores=8, seed=1).run_tasks(tasks).cycles
+    assert fast < slow
+
+
+def test_xeon_phi_model_shape():
+    result = XeonPhiModel().tiled_matmul(256)
+    # sanity against the paper's measured point for h=256
+    assert 20_000_000 < result["retired"] < 45_000_000
+    assert 250_000 < result["cycles"] < 550_000
+    assert result["peak_fraction"] < 0.35
+    assert result["ipc"] > 60  # machine-wide
+
+
+def test_xeon_phi_scales_with_problem_size():
+    small = XeonPhiModel().tiled_matmul(64)
+    large = XeonPhiModel().tiled_matmul(256)
+    assert large["retired"] / small["retired"] == pytest.approx(64.0, rel=1e-3)
+    assert large["cycles"] > small["cycles"]
+
+
+def test_xeon_phi_parameter_sweep():
+    better_vec = XeonPhiModel(vector_factor=8.0).tiled_matmul(256)
+    default = XeonPhiModel().tiled_matmul(256)
+    assert better_vec["retired"] < default["retired"]

@@ -1,0 +1,218 @@
+"""Control flow, functions, calls, recursion, builtins — end to end."""
+
+import pytest
+
+from repro.compiler import CompileError, compile_c
+from helpers import run_c, word
+
+
+def test_while_and_break_continue():
+    source = """
+int evens; int total;
+void main() {
+    int i = 0;
+    evens = 0;
+    total = 0;
+    while (1) {
+        i++;
+        if (i > 10) break;
+        if (i % 2) continue;
+        evens++;
+        total += i;
+    }
+}
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "evens") == 5
+    assert word(machine, program, "total") == 2 + 4 + 6 + 8 + 10
+
+
+def test_nested_loops_with_break():
+    source = """
+int count;
+void main() {
+    int i; int j;
+    count = 0;
+    for (i = 0; i < 5; i++)
+        for (j = 0; j < 5; j++) {
+            if (j > i) break;   /* breaks the inner loop only */
+            count++;
+        }
+}
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "count") == 1 + 2 + 3 + 4 + 5
+
+
+def test_do_while_runs_once():
+    source = """
+int n;
+void main() {
+    n = 0;
+    do { n++; } while (0);
+}
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "n") == 1
+
+
+def test_recursion_factorial():
+    source = """
+int out;
+int fact(int n) {
+    if (n <= 1) return 1;
+    return n * fact(n - 1);
+}
+void main() { out = fact(7); }
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "out") == 5040
+
+
+def test_fibonacci_double_recursion():
+    source = """
+int out;
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+void main() { out = fib(12); }
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "out") == 144
+
+
+def test_eight_arguments():
+    source = """
+int out;
+int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {
+    return a + b + c + d + e + f + g + h;
+}
+void main() { out = sum8(1, 2, 3, 4, 5, 6, 7, 8); }
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "out") == 36
+
+
+def test_nested_calls_in_arguments():
+    source = """
+int out;
+int add(int a, int b) { return a + b; }
+void main() { out = add(add(1, 2), add(add(3, 4), 5)); }
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "out") == 15
+
+
+def test_function_pointer_call():
+    source = """
+int out;
+int twice(int x) { return 2 * x; }
+int thrice(int x) { return 3 * x; }
+void main() {
+    int (*f)(int);
+    f = twice;
+    out = f(10);
+    f = thrice;
+    out += f(10);
+}
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "out") == 50
+
+
+def test_function_pointer_as_parameter():
+    source = """
+int out;
+int inc(int x) { return x + 1; }
+int apply(int (*f)(int), int v) { return f(v); }
+void main() { out = apply(inc, 41); }
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "out") == 42
+
+
+def test_mutual_recursion_forward_reference():
+    source = """
+int out;
+int is_odd(int n);
+int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+void main() { out = is_even(10) * 10 + is_odd(10); }
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "out") == 10
+
+
+def test_callee_saved_registers_survive_calls():
+    source = """
+int out;
+int clobber(void) { int a=1; int b=2; int c=3; int d=4; return a+b+c+d; }
+void main() {
+    int keep1 = 100; int keep2 = 200; int keep3 = 300;
+    int r = clobber();
+    out = keep1 + keep2 + keep3 + r;
+}
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "out") == 610
+
+
+def test_hart_id_builtin():
+    source = """
+int id;
+void main() { id = __hart_id(); }
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "id") == 0  # main runs on hart 0
+
+
+def test_exit_builtin_stops_early():
+    source = """
+int before; int after;
+void main() {
+    before = 1;
+    exit();
+    after = 1;
+}
+"""
+    program, machine, stats = run_c(source)
+    assert word(machine, program, "before") == 1
+    assert word(machine, program, "after") == 0
+    assert machine.halt_reason == "exit"
+
+
+def test_bank_base_builtin():
+    source = """
+#include <det_omp.h>
+int flag __bank(1);
+int out;
+void main() {
+    int *p = __bank_base(1);
+    *p = 77;          /* writes the first word of bank 1 = flag */
+    out = flag;
+}
+"""
+    program, machine, _ = run_c(source, cores=2)
+    assert word(machine, program, "out") == 77
+
+
+def test_nested_parallel_region_rejected():
+    source = """
+#include <det_omp.h>
+void main() {
+    int i; int j;
+    #pragma omp parallel for
+    for (i = 0; i < 2; i++) {
+        #pragma omp parallel for
+        for (j = 0; j < 2; j++) { }
+    }
+}
+"""
+    with pytest.raises(CompileError, match="nested parallel"):
+        compile_c(source)
+
+
+def test_goto_unsupported_diagnostic():
+    with pytest.raises(CompileError):
+        compile_c("void main() { goto end; end: ; }")

@@ -1,0 +1,209 @@
+"""End-to-end expression semantics: compile DetC, run on LBP, check values."""
+
+import pytest
+
+from helpers import run_c, word, uword
+
+
+def _eval(expression, setup="", globals_decl=""):
+    source = """
+%s
+int out;
+void main() { %s out = %s; }
+""" % (globals_decl, setup, expression)
+    program, machine, _stats = run_c(source)
+    return word(machine, program, "out")
+
+
+@pytest.mark.parametrize("expr,expected", [
+    ("1 + 2 * 3", 7),
+    ("(1 + 2) * 3", 9),
+    ("10 - 4 - 3", 3),
+    ("7 / 2", 3),
+    ("-7 / 2", -3),
+    ("7 % 3", 1),
+    ("-7 % 3", -1),
+    ("1 << 10", 1024),
+    ("-8 >> 1", -4),
+    ("0xF0 & 0x3C", 0x30),
+    ("0xF0 | 0x0C", 0xFC),
+    ("0xF0 ^ 0xFF", 0x0F),
+    ("~0", -1),
+    ("!5", 0),
+    ("!0", 1),
+    ("-(3)", -3),
+    ("3 < 4", 1),
+    ("4 < 3", 0),
+    ("4 <= 4", 1),
+    ("5 > 2", 1),
+    ("5 >= 6", 0),
+    ("3 == 3", 1),
+    ("3 != 3", 0),
+    ("1 && 0", 0),
+    ("1 && 2", 1),
+    ("0 || 0", 0),
+    ("0 || 7", 1),
+    ("1 ? 10 : 20", 10),
+    ("0 ? 10 : 20", 20),
+    ("sizeof(int)", 4),
+    ("sizeof(char)", 1),
+    ("sizeof(int*)", 4),
+])
+def test_constant_expressions(expr, expected):
+    assert _eval(expr) == expected
+
+
+def test_variable_arithmetic():
+    assert _eval("a * b + c", setup="int a = 6; int b = 7; int c = -2;") == 40
+
+
+def test_unsigned_semantics():
+    source = """
+unsigned u;
+int s;
+void main() {
+    unsigned a = 0xFFFFFFFFU;
+    u = a / 2;
+    s = (a > 1);           /* unsigned compare: huge > 1 */
+}
+"""
+    program, machine, _ = run_c(source)
+    assert uword(machine, program, "u") == 0x7FFFFFFF
+    assert word(machine, program, "s") == 1
+
+
+def test_signed_vs_unsigned_shift():
+    source = """
+int a; unsigned b;
+void main() {
+    int x = -16;
+    unsigned y = 0x80000000U;
+    a = x >> 2;
+    b = y >> 4;
+}
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "a") == -4
+    assert uword(machine, program, "b") == 0x08000000
+
+
+def test_assignment_operators():
+    source = """
+int r[10];
+void main() {
+    int x = 10;
+    x += 5;  r[0] = x;
+    x -= 3;  r[1] = x;
+    x *= 2;  r[2] = x;
+    x /= 4;  r[3] = x;
+    x %= 4;  r[4] = x;
+    x <<= 3; r[5] = x;
+    x >>= 1; r[6] = x;
+    x |= 1;  r[7] = x;
+    x &= 6;  r[8] = x;
+    x ^= 7;  r[9] = x;
+}
+"""
+    program, machine, _ = run_c(source)
+    expected = [15, 12, 24, 6, 2, 16, 8, 9, 0, 7]
+    assert [word(machine, program, "r", i) for i in range(10)] == expected
+
+
+def test_increment_decrement():
+    source = """
+int r[6];
+void main() {
+    int x = 5;
+    r[0] = x++;
+    r[1] = x;
+    r[2] = ++x;
+    r[3] = x--;
+    r[4] = --x;
+    r[5] = x;
+}
+"""
+    program, machine, _ = run_c(source)
+    assert [word(machine, program, "r", i) for i in range(6)] == [5, 6, 7, 7, 5, 5]
+
+
+def test_pointer_increment_scales():
+    source = """
+int v[4] = {10, 20, 30, 40};
+int a; int b;
+void main() {
+    int *p = v;
+    p++;
+    a = *p;
+    p += 2;
+    b = *p;
+}
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "a") == 20
+    assert word(machine, program, "b") == 40
+
+
+def test_pointer_difference():
+    source = """
+int v[8];
+int d;
+void main() {
+    int *p = v + 7;
+    int *q = v + 2;
+    d = p - q;
+}
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "d") == 5
+
+
+def test_short_circuit_no_side_effect():
+    source = """
+int touched; int r;
+void main() {
+    touched = 0;
+    r = 0 && (touched = 1);
+    r = 1 || (touched = 1);
+}
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "touched") == 0
+
+
+def test_comma_operator():
+    assert _eval("(1, 2, 3)") == 3
+
+
+def test_char_truncation_and_extension():
+    source = """
+int a; int b;
+void main() {
+    char c = (char)0x1FF;   /* truncates to -1 */
+    a = c;
+    unsigned char u = (char)0xFF;
+    b = u;                   /* hmm: (char) then to unsigned char */
+}
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "a") == -1
+
+
+def test_deep_expression_spills_gracefully():
+    # deep enough to exercise temp reuse, not deep enough to exhaust
+    expr = "((((1+2)*(3+4))+((5+6)*(7+8)))+(((9+10)*(11+12))+((13+14)*(15+16))))"
+    expected = (((1+2)*(3+4))+((5+6)*(7+8)))+(((9+10)*(11+12))+((13+14)*(15+16)))
+    assert _eval(expr) == expected
+
+
+def test_division_by_zero_riscv_semantics():
+    source = """
+int q; int r;
+void main() {
+    int z = 0;
+    q = 5 / z;
+    r = 5 % z;
+}
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "q") == -1  # RISC-V: div by zero = all ones
+    assert word(machine, program, "r") == 5

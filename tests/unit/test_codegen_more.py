@@ -1,0 +1,240 @@
+"""More code-generation behaviours: compound lvalues, loop edges, casts,
+unsigned loops, arrays of pointers, register-pressure scenarios."""
+
+from helpers import run_c, word, uword
+
+
+def test_compound_assignment_through_pointer_member():
+    source = """
+typedef struct { int hits; int pad; } counter_t;
+counter_t c;
+int out;
+void bump(counter_t *p) { p->hits += 5; }
+void main() {
+    c.hits = 10;
+    bump(&c);
+    bump(&c);
+    out = c.hits;
+}
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "out") == 20
+
+
+def test_array_of_pointers():
+    source = """
+int a = 1; int b = 2; int c = 3;
+int out;
+void main() {
+    int *table[3];
+    int i;
+    int acc = 0;
+    table[0] = &a;
+    table[1] = &b;
+    table[2] = &c;
+    for (i = 0; i < 3; i++)
+        acc += *table[i];
+    out = acc;
+}
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "out") == 6
+
+
+def test_for_without_condition_breaks_out():
+    source = """
+int out;
+void main() {
+    int i = 0;
+    for (;;) {
+        i++;
+        if (i == 7) break;
+    }
+    out = i;
+}
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "out") == 7
+
+
+def test_empty_loop_body():
+    source = """
+int out;
+void main() {
+    int i;
+    for (i = 0; i < 100; i++)
+        ;
+    out = i;
+}
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "out") == 100
+
+
+def test_unsigned_countdown_loop():
+    source = """
+int out;
+void main() {
+    unsigned u = 5;
+    int n = 0;
+    while (u > 0) {
+        u--;
+        n++;
+    }
+    out = n;
+}
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "out") == 5
+
+
+def test_nested_ternaries():
+    source = """
+int out;
+int classify(int x) {
+    return x < 0 ? -1 : (x == 0 ? 0 : 1);
+}
+void main() {
+    out = classify(-5) * 100 + classify(0) * 10 + classify(9);
+}
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "out") == -100 + 0 + 1
+
+
+def test_cast_int_to_pointer_and_back():
+    source = """
+int target = 55;
+int out1; int out2;
+void main() {
+    int raw = (int)&target;
+    int *p = (int*)raw;
+    out1 = *p;
+    out2 = (int)p == raw;
+}
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "out1") == 55
+    assert word(machine, program, "out2") == 1
+
+
+def test_char_loop_over_string_like_array():
+    source = """
+char data[6] = {3, 1, 4, 1, 5, 0};
+int out;
+void main() {
+    int acc = 0;
+    char *p = data;
+    while (*p) {
+        acc = acc * 10 + *p;
+        p++;
+    }
+    out = acc;
+}
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "out") == 31415
+
+
+def test_many_live_locals_use_callee_saved():
+    source = """
+int out;
+void main() {
+    int a = 1; int b = 2; int c = 3; int d = 4; int e = 5; int f = 6;
+    int g = 7; int h = 8; int i = 9; int j = 10; int k = 11; int l = 12;
+    int m = 13; int n = 14;     /* more locals than s-registers */
+    out = a+b+c+d+e+f+g+h+i+j+k+l+m+n;
+}
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "out") == sum(range(1, 15))
+
+
+def test_spilled_local_round_trip_through_calls():
+    source = """
+int out;
+int id(int x) { return x; }
+void main() {
+    int a = 1; int b = 2; int c = 3; int d = 4; int e = 5; int f = 6;
+    int g = 7; int h = 8; int i = 9; int j = 10; int k = 11; int l = 12;
+    int m = 13; int n = 14;
+    out = id(a) + id(n) + id(m);   /* stack-allocated ones survive calls */
+}
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "out") == 1 + 14 + 13
+
+
+def test_negative_modulo_in_loop_guard():
+    source = """
+int out;
+void main() {
+    int i;
+    int count = 0;
+    for (i = -6; i < 6; i++)
+        if (i % 2 == 0)
+            count++;
+    out = count;
+}
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "out") == 6
+
+
+def test_globals_in_other_banks_read_write():
+    source = """
+#include <det_omp.h>
+int a __bank(1);
+int b __bank(2);
+int out;
+void main() {
+    a = 5;
+    b = a * 3;
+    out = a + b;
+}
+"""
+    program, machine, _ = run_c(source, cores=4)
+    assert word(machine, program, "out") == 20
+
+
+def test_large_unsigned_literal():
+    source = """
+unsigned out;
+void main() { out = 4000000000U; }
+"""
+    program, machine, _ = run_c(source)
+    assert uword(machine, program, "out") == 4000000000
+
+
+def test_shadowing_in_nested_blocks():
+    source = """
+int out;
+void main() {
+    int x = 1;
+    {
+        int x = 2;
+        {
+            int x = 3;
+            out = x * 100;
+        }
+        out += x * 10;
+    }
+    out += x;
+}
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "out") == 321
+
+
+def test_sizeof_array_and_pointer_difference():
+    source = """
+int v[10];
+int out1; int out2;
+void main() {
+    out1 = sizeof(v);
+    out2 = sizeof(int[6]);
+}
+"""
+    program, machine, _ = run_c(source)
+    assert word(machine, program, "out1") == 40
+    assert word(machine, program, "out2") == 24

@@ -1,0 +1,189 @@
+"""The DetC parser: declarations, statements, expressions, OMP forms."""
+
+import pytest
+
+from repro.compiler import cast as A
+from repro.compiler import ctypes_ as T
+from repro.compiler.cparser import parse
+from repro.compiler.errors import CompileError
+
+
+def _module(source):
+    module, _parser = parse(source)
+    return module
+
+
+def _main_body(source):
+    module = _module(source)
+    for item in module.items:
+        if isinstance(item, A.FuncDef) and item.name == "main":
+            return item.body.stmts
+    raise AssertionError("no main")
+
+
+def test_global_declarations():
+    module = _module("int a; unsigned b; char c; int *p; int arr[10];")
+    names = [item.name for item in module.items]
+    assert names == ["a", "b", "c", "p", "arr"]
+    types = {item.name: item.ctype for item in module.items}
+    assert isinstance(types["p"], T.PtrType)
+    assert isinstance(types["arr"], T.ArrayType) and types["arr"].count == 10
+
+
+def test_multi_declarator_global():
+    module = _module("int a, *b, c[4];")
+    assert [item.name for item in module.items] == ["a", "b", "c"]
+
+
+def test_function_definition_and_prototype():
+    module = _module("int f(int a, int *b);\nint f(int a, int *b) { return a; }")
+    defs = [item for item in module.items if isinstance(item, A.FuncDef)]
+    assert len(defs) == 2
+    assert defs[0].body is None and defs[1].body is not None
+    assert defs[1].ftype.params[0][0] == "a"
+
+
+def test_struct_and_typedef():
+    module, parser = parse("""
+typedef struct type_s { int t; int pad; char c; } type_t;
+type_t st;
+int use(type_t *p) { return p->t + st.pad; }
+""")
+    stype = parser.typedefs["type_t"]
+    assert isinstance(stype, T.StructType)
+    assert stype.field("t") == (T.INT, 0) or stype.field("t")[1] == 0
+    assert stype.field("pad")[1] == 4
+    assert stype.field("c")[1] == 8
+    assert stype.size == 12  # padded to int alignment
+
+
+def test_function_pointer_param():
+    module = _module("void run(void (*f)(void *), void *data) { }")
+    func = module.items[0]
+    ptype = func.ftype.params[0][1]
+    assert isinstance(ptype, T.PtrType) and isinstance(ptype.base, T.FuncType)
+
+
+def test_statements_shapes():
+    stmts = _main_body("""
+void main() {
+    int i;
+    if (i) i = 1; else i = 2;
+    while (i) i--;
+    do { i++; } while (i < 10);
+    for (i = 0; i < 4; i++) { break; }
+    ;
+    return;
+}
+""")
+    kinds = [type(s).__name__ for s in stmts]
+    assert kinds == ["Decl", "If", "While", "DoWhile", "For", "Empty", "Return"]
+
+
+def test_expression_precedence():
+    stmts = _main_body("void main() { int x; x = 1 + 2 * 3; }")
+    assign = stmts[1].expr
+    assert isinstance(assign, A.Assign)
+    assert assign.rhs.op == "+"
+    assert assign.rhs.rhs.op == "*"
+
+
+def test_ternary_and_logical():
+    stmts = _main_body("void main() { int x; x = x > 0 && x < 9 ? 1 : 0; }")
+    cond = stmts[1].expr.rhs
+    assert isinstance(cond, A.Cond)
+    assert cond.cond.op == "&&"
+
+
+def test_sizeof_forms():
+    stmts = _main_body("void main() { int x; x = sizeof(int); x = sizeof x; }")
+    assert isinstance(stmts[1].expr.rhs, A.SizeofType)
+    assert stmts[1].expr.rhs.ctype.size == 4
+    assert isinstance(stmts[2].expr.rhs, A.Un)
+
+
+def test_cast_vs_parenthesised_expr():
+    stmts = _main_body("void main() { int x; x = (int)x; x = (x); }")
+    assert isinstance(stmts[1].expr.rhs, A.Cast)
+    assert isinstance(stmts[2].expr.rhs, A.Var)
+
+
+def test_range_initializer():
+    module = _module("int v[8] = {[0 ... 7] = 1};")
+    init = module.items[0].init
+    assert isinstance(init, A.InitList)
+    item = init.items[0]
+    assert isinstance(item, A.RangeInit)
+    assert (item.lo, item.hi) == (0, 7)
+
+
+def test_bank_attribute():
+    module = _module("int v[4] __bank(3);")
+    assert module.items[0].bank == 3
+
+
+def test_parallel_for_canonical():
+    stmts = _main_body("""
+void thread(int t);
+void main() {
+    int t;
+    __OMP_PARALLEL_FOR__
+    for (t = 0; t < 8; t++)
+        thread(t);
+}
+""")
+    node = stmts[1]
+    assert isinstance(node, A.ParallelFor)
+    assert node.var == "t"
+    assert isinstance(node.bound, A.Num) and node.bound.value == 8
+
+
+@pytest.mark.parametrize("loop", [
+    "for (t = 8; t > 0; t--) thread(t);",       # wrong direction
+    "for (t = 0; t <= 8; t++) thread(t);",      # wrong comparison
+    "for (t = 0; t < 8; t += 2) thread(t);",    # wrong step
+    "while (t) thread(t);",                      # not a for
+])
+def test_parallel_for_rejects_non_canonical(loop):
+    with pytest.raises(CompileError):
+        _module("""
+void thread(int t);
+void main() { int t; __OMP_PARALLEL_FOR__ %s }
+""" % loop)
+
+
+def test_parallel_sections():
+    stmts = _main_body("""
+void main() {
+    __OMP_PARALLEL_SECTIONS__
+    {
+        __OMP_SECTION__ { ; }
+        __OMP_SECTION__ { ; }
+        __OMP_SECTION__ { ; }
+    }
+}
+""")
+    node = stmts[0]
+    assert isinstance(node, A.ParallelSections)
+    assert len(node.sections) == 3
+
+
+def test_parallel_sections_requires_section_markers():
+    with pytest.raises(CompileError):
+        _module("void main() { __OMP_PARALLEL_SECTIONS__ { ; } }")
+
+
+def test_parse_errors():
+    with pytest.raises(CompileError):
+        _module("int f( { }")
+    with pytest.raises(CompileError):
+        _module("void main() { x = ; }")
+    with pytest.raises(CompileError):
+        _module("void main() { int arr[x]; }")  # non-constant size
+
+
+def test_comma_in_for_init():
+    stmts = _main_body("void main() { int a; int b; for (a = 0, b = 1; a < b; a++) ; }")
+    loop = stmts[2]
+    assert isinstance(loop, A.For)
+    assert loop.init.expr.op == ","

@@ -1,0 +1,141 @@
+"""The DetC preprocessor."""
+
+import pytest
+
+from repro.compiler.cpp import Preprocessor, strip_comments
+from repro.compiler.errors import CompileError
+
+
+def _pp(source, **kwargs):
+    cpp = Preprocessor(**kwargs)
+    return cpp.process(source), cpp
+
+
+def test_strip_comments():
+    assert strip_comments("a /* x */ b") == "a  b"
+    assert strip_comments("a // rest\nb") == "a \nb"
+    assert strip_comments('s = "// not a comment";') == 's = "// not a comment";'
+    assert strip_comments("a /* multi\nline */ b").count("\n") == 1
+    with pytest.raises(CompileError):
+        strip_comments("/* unterminated")
+
+
+def test_object_macro():
+    text, _ = _pp("#define N 8\nint v[N];")
+    assert "int v[8];" in text
+
+
+def test_macro_recursion_fixpoint():
+    text, _ = _pp("#define A B\n#define B 3\nx = A;")
+    assert "x = 3;" in text
+
+
+def test_self_referential_macro_stops():
+    text, _ = _pp("#define X X+1\ny = X;")
+    assert "y = X+1;" in text
+
+
+def test_function_like_macro():
+    text, _ = _pp("#define SQ(x) ((x)*(x))\nv = SQ(a+1);")
+    assert "v = ((a+1)*(a+1));" in text
+
+
+def test_function_macro_two_args():
+    text, _ = _pp("#define IDX(i,j) ((i)*W+(j))\nv = IDX(r, c);")
+    assert "v = ((r)*W+(c));" in text
+
+
+def test_function_macro_nested_parens():
+    text, _ = _pp("#define F(a) [a]\nv = F(g(x, y));")
+    assert "v = [g(x, y)];" in text
+
+
+def test_macro_wrong_arity():
+    with pytest.raises(CompileError):
+        _pp("#define F(a,b) a+b\nv = F(1);")
+
+
+def test_zero_argument_function_macro():
+    text, _ = _pp("#define NOW() 42\nv = NOW();")
+    assert "v = 42;" in text
+
+
+def test_function_macro_without_parens_left_alone():
+    text, _ = _pp("#define F(x) [x]\nfp = F;")
+    assert "fp = F;" in text
+
+
+def test_undef():
+    text, _ = _pp("#define N 4\n#undef N\nint v[N];")
+    assert "int v[N];" in text
+
+
+def test_det_omp_include_flag():
+    _, cpp = _pp("#include <det_omp.h>\n")
+    assert cpp.det_omp_included
+    _, cpp2 = _pp("#include <stdio.h>\n")
+    assert not cpp2.det_omp_included
+
+
+def test_unknown_include_rejected():
+    with pytest.raises(CompileError):
+        _pp('#include "mystuff.h"\n')
+
+
+def test_pragma_rewriting():
+    text, _ = _pp("#pragma omp parallel for\nfor(;;);")
+    assert "__OMP_PARALLEL_FOR__" in text
+    text, _ = _pp("#pragma omp parallel sections\n{}")
+    assert "__OMP_PARALLEL_SECTIONS__" in text
+    text, _ = _pp("#pragma omp section\n{}")
+    assert "__OMP_SECTION__" in text
+    text, _ = _pp("#pragma once\nint x;")  # unknown pragmas vanish
+    assert "int x;" in text and "pragma" not in text
+
+
+def test_ifdef_blocks():
+    source = """#define YES 1
+#ifdef YES
+int a;
+#else
+int b;
+#endif
+#ifdef NO
+int c;
+#endif
+"""
+    text, _ = _pp(source)
+    assert "int a;" in text
+    assert "int b;" not in text
+    assert "int c;" not in text
+
+
+def test_ifndef():
+    text, _ = _pp("#ifndef NOPE\nint a;\n#endif\n")
+    assert "int a;" in text
+
+
+def test_unterminated_if():
+    with pytest.raises(CompileError):
+        _pp("#ifdef X\nint a;\n")
+
+
+def test_line_numbers_preserved():
+    source = "#define N 1\n\nint v[N];\n"
+    text, _ = _pp(source)
+    assert text.count("\n") == source.count("\n")
+
+
+def test_line_continuation():
+    text, _ = _pp("#define LONG 1 + \\\n 2\nv = LONG;")
+    assert "v = 1 +  2;" in text.replace("  ", " ").replace("  ", " ") or "1 +" in text
+
+
+def test_predefined_macros():
+    text, _ = _pp("int v[N];", predefined={"N": 16})
+    assert "int v[16];" in text
+
+
+def test_macros_not_expanded_in_strings():
+    text, _ = _pp('#define N 8\nchar *s = "N";')
+    assert '"N"' in text

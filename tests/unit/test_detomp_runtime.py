@@ -1,0 +1,75 @@
+"""The Deterministic OpenMP runtime assembly: structure and protocol."""
+
+from repro.asm import assemble
+from repro.detomp import runtime_asm, start_stub_asm, worker_asm
+from repro.detomp.runtime import (
+    CV_DATA,
+    CV_INDEX,
+    CV_LAST,
+    CV_RA,
+    CV_T0,
+    CV_WORKER,
+    omp_globals_asm,
+)
+
+
+def test_runtime_assembles_standalone():
+    source = "main: ret\n" + runtime_asm() + omp_globals_asm()
+    program = assemble(source)
+    assert "LBP_parallel_start" in program.symbols
+    assert "omp_num_threads" in program.symbols
+
+
+def test_cv_slots_are_distinct_words():
+    slots = [CV_RA, CV_T0, CV_WORKER, CV_DATA, CV_INDEX, CV_LAST]
+    assert len(set(slots)) == 6
+    assert all(slot % 4 == 0 for slot in slots)
+    assert max(slots) < 64  # fits the CV area
+
+
+def test_runtime_send_receive_symmetry():
+    """Every p_swcv slot has a matching p_lwcv on the forked side."""
+    text = runtime_asm()
+    send_slots = []
+    receive_slots = []
+    for line in text.splitlines():
+        stripped = line.split("#")[0].strip()
+        if stripped.startswith("p_swcv"):
+            send_slots.append(int(stripped.split(",")[-1]))
+        if stripped.startswith("p_lwcv"):
+            receive_slots.append(int(stripped.split(",")[-1]))
+    assert sorted(send_slots) == sorted(receive_slots)
+    assert len(send_slots) == 6
+
+
+def test_runtime_fork_protocol_order():
+    """p_merge and p_syncm sit between the CV sends and the p_jalr."""
+    lines = [l.split("#")[0].strip() for l in runtime_asm().splitlines()]
+    ops = [l.split()[0] for l in lines if l and not l.endswith(":")
+           and not l.startswith(".")]
+    jalr_at = ops.index("p_jalr")
+    assert "p_merge" in ops[:jalr_at]
+    assert "p_syncm" in ops[:jalr_at]
+    assert ops.index("p_merge") < ops.index("p_syncm") < jalr_at
+    # the receive sequence follows immediately after the parallel call
+    assert ops[jalr_at + 1 : jalr_at + 7] == ["p_lwcv"] * 6
+
+
+def test_worker_wrapper_saves_join_state():
+    text = worker_asm("__omp_worker_9", "__omp_body_9")
+    program = assemble("main: ret\n__omp_body_9: ret\n" + text)
+    assert "__omp_worker_9" in program.symbols
+    ops = [ins.mnemonic for ins in
+           (program.instructions[a] for a in sorted(program.instructions))]
+    # save ra/t0, call body, restore, p_ret (p_jalr zero, ra, t0)
+    assert ops[-1] == "p_jalr"
+    assert ops.count("sw") >= 2 and ops.count("lw") >= 2
+
+
+def test_start_stub_exits_with_minus_one():
+    program = assemble(start_stub_asm() + "\nmain: ret\n")
+    assert program.entry == program.symbol("_start")
+    ops = [program.instructions[a] for a in sorted(program.instructions)]
+    # last instruction of the stub is the exiting p_ret
+    stub_ops = [i for i in ops if i.addr < program.symbol("main")]
+    assert stub_ops[-1].mnemonic == "p_jalr"

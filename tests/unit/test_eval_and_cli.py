@@ -1,0 +1,108 @@
+"""The evaluation harness, paper reference data, and the CLI."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.eval import (
+    PAPER_FIG19,
+    PAPER_FIG20,
+    PAPER_FIG21,
+    format_rows,
+    run_matmul_experiment,
+)
+from repro.workloads.matmul import MATMUL_VERSIONS
+
+
+def test_paper_data_covers_all_versions():
+    for figure in (PAPER_FIG19, PAPER_FIG20, PAPER_FIG21):
+        assert set(figure["rows"]) == set(MATMUL_VERSIONS)
+        assert figure["machine"]["harts"] == 4 * figure["machine"]["cores"]
+        assert figure["relations"]
+
+
+def test_paper_quoted_values_present():
+    assert PAPER_FIG19["rows"]["base"]["retired"] == 16722
+    assert PAPER_FIG19["rows"]["tiled"]["ipc"] == 3.67
+    assert PAPER_FIG21["rows"]["tiled"]["cycles"] == 1_180_000
+    assert PAPER_FIG21["xeon_phi"]["cycles"] == 391_000
+
+
+def test_run_matmul_experiment_row_shape():
+    row = run_matmul_experiment("base", 8, 2, scale=2, simulator="cycle")
+    assert row["version"] == "base"
+    assert row["cycles"] > 0 and row["retired"] > 0
+    assert 0 < row["ipc"] <= 2.0
+    assert row["simulator"] == "cycle"
+
+
+def test_run_matmul_experiment_rejects_bad_simulator():
+    with pytest.raises(ValueError):
+        run_matmul_experiment("base", 8, 2, simulator="magic")
+
+
+def test_format_rows_with_and_without_paper():
+    rows = {"base": {"cycles": 100, "ipc": 1.5, "retired": 120}}
+    bare = format_rows(rows, None, "title")
+    assert "title" in bare and "base" in bare
+    with_paper = format_rows(rows, PAPER_FIG19)
+    assert "16722" in with_paper
+    assert "paper's claims:" in with_paper
+
+
+def _write(tmp_path, text):
+    path = tmp_path / "prog.c"
+    path.write_text(text)
+    return str(path)
+
+
+_PROG = """
+#include <det_omp.h>
+int v[4];
+void main() {
+    int t;
+    #pragma omp parallel for
+    for (t = 0; t < 4; t++)
+        v[t] = t + 40;
+}
+"""
+
+
+def test_cli_compile(tmp_path, capsys):
+    assert cli_main(["compile", _write(tmp_path, _PROG)]) == 0
+    out = capsys.readouterr().out
+    assert "LBP_parallel_start" in out
+    assert "p_fc" in out and "p_jalr" in out
+
+
+def test_cli_disasm(tmp_path, capsys):
+    assert cli_main(["disasm", _write(tmp_path, _PROG)]) == 0
+    out = capsys.readouterr().out
+    assert "main:" in out and "_start:" in out
+
+
+def test_cli_run_with_globals(tmp_path, capsys):
+    assert cli_main(["run", _write(tmp_path, _PROG),
+                     "--cores", "1", "--print", "v:4"]) == 0
+    out = capsys.readouterr().out
+    assert "[40, 41, 42, 43]" in out
+    assert "halt     : exit" in out
+
+
+def test_cli_run_fast_simulator(tmp_path, capsys):
+    assert cli_main(["run", _write(tmp_path, _PROG),
+                     "--cores", "1", "--sim", "fast", "--print", "v:4"]) == 0
+    assert "[40, 41, 42, 43]" in capsys.readouterr().out
+
+
+def test_cli_run_assembly_file(tmp_path, capsys):
+    path = tmp_path / "prog.s"
+    path.write_text("main:\n    li a0, 1\n    ebreak\n")
+    assert cli_main(["run", str(path), "--cores", "1"]) == 0
+    assert "retired  : 2" in capsys.readouterr().out
+
+
+def test_cli_trace(tmp_path, capsys):
+    assert cli_main(["run", _write(tmp_path, _PROG),
+                     "--cores", "1", "--trace", "--trace-limit", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "at cycle" in out

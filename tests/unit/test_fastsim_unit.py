@@ -1,0 +1,105 @@
+"""Fast-simulator internals: windowed ports, loading, error paths."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.fastsim import FastLBP
+from repro.fastsim.sim import FastSimError, WindowedPort
+from repro.machine import Params
+
+
+def test_windowed_port_backfill():
+    port = WindowedPort(window=4)
+    # an early-scheduled hart books slots far in the future...
+    for _ in range(3):
+        port.reserve(100)
+    # ...a laggard can still use untouched earlier windows
+    assert port.reserve(0) == 0
+
+
+def test_windowed_port_capacity():
+    port = WindowedPort(window=4)
+    slots = [port.reserve(0) for _ in range(10)]
+    # first window holds 4, then spills to the next windows
+    assert slots[:4] == [0, 0, 0, 0]
+    assert slots[4] >= 4
+    assert max(slots) >= 8
+
+
+def test_windowed_port_no_penalty_when_idle():
+    port = WindowedPort(window=16)
+    assert port.reserve(1000) == 1000
+
+
+def _simple(source, cores=1):
+    program = assemble(source)
+    machine = FastLBP(Params(num_cores=cores)).load(program)
+    stats = machine.run(max_cycles=100_000)
+    return program, machine, stats
+
+
+def test_basic_execution_and_memory():
+    program, machine, stats = _simple("""
+main:
+    li t1, 6
+    li t2, 7
+    mul t3, t1, t2
+    la t4, out
+    sw t3, 0(t4)
+    lw t5, 0(t4)
+    ebreak
+.data
+out: .word 0
+""")
+    assert machine.read_word(program.symbol("out")) == 42
+    assert stats.retired == 8  # li + li + mul + la(lui,addi) + sw + lw + ebreak
+
+
+def test_retired_counts_match_instruction_stream():
+    program, machine, stats = _simple("""
+main:
+    li t1, 10
+loop:
+    addi t1, t1, -1
+    bnez t1, loop
+    ebreak
+""")
+    assert stats.retired == 1 + 10 * 2 + 1
+
+
+def test_bad_fetch_raises():
+    program = assemble("main: li t1, 0x4000\n jr t1")
+    machine = FastLBP(Params(num_cores=1)).load(program)
+    with pytest.raises(FastSimError, match="non-code"):
+        machine.run(max_cycles=10_000)
+
+
+def test_unmapped_global_raises():
+    program = assemble("main: li t1, 0x88000000\n lw t2, 0(t1)\n ebreak")
+    machine = FastLBP(Params(num_cores=1)).load(program)
+    with pytest.raises(FastSimError, match="unmapped"):
+        machine.run(max_cycles=10_000)
+
+
+def test_deadlock_detection():
+    program = assemble("main: p_lwre t1, 0\n ebreak")
+    machine = FastLBP(Params(num_cores=1)).load(program)
+    with pytest.raises(FastSimError, match="deadlock"):
+        machine.run(max_cycles=10_000)
+
+
+def test_data_bank_overflow_rejected():
+    program = assemble(".data\n.bank 5\nx: .word 1\n.text\nmain: ebreak")
+    with pytest.raises(FastSimError, match="bank 5"):
+        FastLBP(Params(num_cores=2)).load(program)
+
+
+def test_local_memory_is_core_private():
+    """The same local address names a different bank on every core."""
+    machine = FastLBP(Params(num_cores=2))
+    from repro import memmap
+
+    machine.local_mem[0][0:4] = (111).to_bytes(4, "little")
+    machine.local_mem[1][0:4] = (222).to_bytes(4, "little")
+    assert machine.read_local(0, memmap.LOCAL_BASE) == 111
+    assert machine.read_local(1, memmap.LOCAL_BASE) == 222

@@ -1,0 +1,118 @@
+"""I/O devices: scripted/seeded inputs, timers, actuators, MMIO wiring."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.machine import LBP, Params
+from repro.machine.io import (
+    Actuator,
+    RandomInput,
+    ScriptedInput,
+    Timer,
+    attach_input,
+    attach_output,
+)
+from repro import memmap
+
+
+def test_scripted_input_sequence():
+    device = ScriptedInput([(100, 7), (250, 9)])
+    assert not device.ready(99)
+    assert device.ready(100)
+    assert device.value(120) == 7
+    assert device.consumed_at == [120]
+    assert not device.ready(200)      # second event not due yet
+    assert device.ready(250)
+    assert device.value(251) == 9
+    assert not device.ready(9999)     # exhausted
+
+
+def test_scripted_input_value_before_ready_is_zero():
+    device = ScriptedInput([(100, 7)])
+    assert device.value(50) == 0
+    assert device.cursor == 0         # not consumed
+
+
+def test_scripted_input_is_read_only():
+    device = ScriptedInput([(1, 2)])
+    with pytest.raises(ValueError):
+        device.accept(5, 1)
+
+
+def test_random_input_deterministic_per_seed():
+    first = RandomInput(seed=42, count=5)
+    second = RandomInput(seed=42, count=5)
+    third = RandomInput(seed=43, count=5)
+    assert first.events == second.events
+    assert first.events != third.events
+    assert all(cycle > 0 for cycle, _value in first.events)
+
+
+def test_timer_ticks():
+    timer = Timer(period=100, ticks=3)
+    assert timer.events == [(100, 1), (200, 2), (300, 3)]
+
+
+def test_actuator_logs_writes():
+    actuator = Actuator()
+    actuator.accept(10, 5)
+    actuator.accept(20, 6)
+    assert actuator.writes == [(10, 5), (20, 6)]
+    assert actuator.value(25) == 6
+    assert actuator.ready(0) == 1
+
+
+def test_mmio_polling_from_assembly():
+    """A hart actively waits on the status word, then reads the value."""
+    base = memmap.global_bank_base(0) + 0x8000
+    source = """
+main:
+    li t1, %d          # status address
+poll:
+    lw t2, 0(t1)
+    beqz t2, poll
+    lw t3, 4(t1)       # value
+    la t4, got
+    sw t3, 0(t4)
+    ebreak
+.data
+got: .word 0
+""" % base
+    program = assemble(source)
+    machine = LBP(Params(num_cores=1)).load(program)
+    attach_input(machine, base, ScriptedInput([(150, 4242)]))
+    stats = machine.run(max_cycles=50_000)
+    assert machine.read_word(program.symbol("got")) == 4242
+    assert stats.cycles > 150  # actually waited for the device
+
+
+def test_mmio_output_write_from_assembly():
+    base = memmap.global_bank_base(0) + 0x8000
+    source = """
+main:
+    li t1, %d
+    li t2, 99
+    sw t2, 4(t1)
+    ebreak
+""" % base
+    program = assemble(source)
+    machine = LBP(Params(num_cores=1)).load(program)
+    actuator = attach_output(machine, base, Actuator())
+    machine.run(max_cycles=10_000)
+    assert len(actuator.writes) == 1
+    assert actuator.writes[0][1] == 99
+
+
+def test_status_port_rejects_writes():
+    base = memmap.global_bank_base(0) + 0x8000
+    source = """
+main:
+    li t1, %d
+    sw zero, 0(t1)     # writing the status word is a device error
+    ebreak
+""" % base
+    program = assemble(source)
+    machine = LBP(Params(num_cores=1)).load(program)
+    attach_input(machine, base, ScriptedInput([]))
+    with pytest.raises(ValueError, match="read-only"):
+        machine.run(max_cycles=10_000)

@@ -1,0 +1,111 @@
+"""32-bit ALU/branch semantics against a big-int reference."""
+
+import pytest
+
+from repro.isa.semantics import (
+    ALU_OPS,
+    BRANCH_OPS,
+    HART_ID_FLAG,
+    allocated_hart,
+    join_hart,
+    load_value,
+    p_merge_value,
+    p_set_value,
+    to_signed,
+    to_unsigned,
+)
+
+M = 0xFFFFFFFF
+
+
+def test_to_signed_unsigned():
+    assert to_signed(0xFFFFFFFF) == -1
+    assert to_signed(0x7FFFFFFF) == 0x7FFFFFFF
+    assert to_signed(0x80000000) == -(1 << 31)
+    assert to_unsigned(-1) == 0xFFFFFFFF
+    assert to_unsigned(1 << 32) == 0
+
+
+@pytest.mark.parametrize("a,b", [
+    (0, 0), (1, 2), (M, 1), (0x80000000, 0xFFFFFFFF),
+    (0x7FFFFFFF, 1), (12345, 678910), (M, M),
+])
+def test_add_sub_mul_wrap(a, b):
+    assert ALU_OPS["add"](a, b) == (a + b) & M
+    assert ALU_OPS["sub"](a, b) == (a - b) & M
+    assert ALU_OPS["mul"](a, b) == (a * b) & M
+
+
+def test_shifts():
+    assert ALU_OPS["sll"](1, 31) == 0x80000000
+    assert ALU_OPS["sll"](1, 32) == 1          # shamt masked to 5 bits
+    assert ALU_OPS["srl"](0x80000000, 31) == 1
+    assert ALU_OPS["sra"](0x80000000, 31) == M
+    assert ALU_OPS["sra"](0x40000000, 30) == 1
+
+
+def test_comparisons():
+    assert ALU_OPS["slt"](to_unsigned(-1), 0) == 1
+    assert ALU_OPS["sltu"](to_unsigned(-1), 0) == 0
+    assert ALU_OPS["slt"](3, 3) == 0
+
+
+def test_division_riscv_rules():
+    # round toward zero
+    assert to_signed(ALU_OPS["div"](to_unsigned(-7), 2)) == -3
+    assert to_signed(ALU_OPS["rem"](to_unsigned(-7), 2)) == -1
+    assert to_signed(ALU_OPS["div"](7, to_unsigned(-2))) == -3
+    assert to_signed(ALU_OPS["rem"](7, to_unsigned(-2))) == 1
+    # division by zero
+    assert ALU_OPS["div"](5, 0) == M
+    assert ALU_OPS["divu"](5, 0) == M
+    assert ALU_OPS["rem"](5, 0) == 5
+    assert ALU_OPS["remu"](5, 0) == 5
+    # signed overflow
+    assert ALU_OPS["div"](0x80000000, M) == 0x80000000
+    assert ALU_OPS["rem"](0x80000000, M) == 0
+
+
+def test_mulh_variants():
+    a, b = 0xFFFFFFFF, 0xFFFFFFFF  # -1 * -1
+    assert ALU_OPS["mulh"](a, b) == 0
+    assert ALU_OPS["mulhu"](a, b) == 0xFFFFFFFE
+    assert ALU_OPS["mulhsu"](a, b) == 0xFFFFFFFF  # -1 * big-unsigned
+
+
+def test_branches():
+    assert BRANCH_OPS["beq"](5, 5)
+    assert not BRANCH_OPS["bne"](5, 5)
+    assert BRANCH_OPS["blt"](to_unsigned(-1), 0)
+    assert not BRANCH_OPS["bltu"](to_unsigned(-1), 0)
+    assert BRANCH_OPS["bge"](0, to_unsigned(-1))
+    assert BRANCH_OPS["bgeu"](to_unsigned(-1), 0)
+
+
+def test_load_value_extension():
+    assert load_value("lb", 0xFF) == M
+    assert load_value("lbu", 0xFF) == 0xFF
+    assert load_value("lh", 0x8000) == 0xFFFF8000
+    assert load_value("lhu", 0x8000) == 0x8000
+    assert load_value("lw", 0xDEADBEEF) == 0xDEADBEEF
+
+
+def test_hart_identity_arithmetic():
+    stamped = p_set_value(0xFFFFFFFF, core=3, hart=2)
+    assert stamped & HART_ID_FLAG
+    assert join_hart(stamped) == 4 * 3 + 2
+    assert stamped & 0xFFFF == 0xFFFF  # low half preserved
+
+    merged = p_merge_value(stamped, 9)
+    assert join_hart(merged) == 14
+    assert allocated_hart(merged) == 9
+    # p_merge drops bit 31 of rs1 per the paper's mask 0x7fff0000
+    assert not merged & HART_ID_FLAG
+
+
+def test_p_set_distinct_per_hart():
+    seen = set()
+    for core in range(4):
+        for hart in range(4):
+            seen.add(join_hart(p_set_value(0, core, hart)))
+    assert len(seen) == 16
