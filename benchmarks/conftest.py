@@ -5,11 +5,22 @@ configurations run, by default, with each thread computing a fraction of
 its Z columns (placement and parallel structure unchanged — see
 DESIGN.md).  Set ``LBP_BENCH_SCALE=1`` for full paper scale (slow) or any
 other divisor to trade fidelity for time.
+
+Perf trajectory: every measurement taken through the ``once`` or
+``fanout`` fixtures is appended to ``BENCH_perf.json`` at the repo root —
+wall time plus cycles/sec and retired/sec extracted from the result —
+so successive PRs can track the simulator's perf curve (see
+EXPERIMENTS.md, "Simulator performance").
 """
 
+import json
 import os
+import time
 
 import pytest
+
+_PERF_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "BENCH_perf.json")
 
 
 def bench_scale(default):
@@ -18,12 +29,105 @@ def bench_scale(default):
     return int(value) if value else default
 
 
+def bench_jobs():
+    """Worker count for the fan-out fixture (env LBP_BENCH_JOBS overrides)."""
+    value = os.environ.get("LBP_BENCH_JOBS")
+    return int(value) if value else None  # None → one worker per CPU
+
+
+# ---- perf trajectory (BENCH_perf.json) -------------------------------------
+
+
+def _extract_counts(result):
+    """Total (cycles, retired) found in a benchmark's result value.
+
+    Understands stats objects (``.cycles``/``.retired`` attributes),
+    result rows (dicts with ``cycles``/``retired`` keys), and containers
+    of either; anything else contributes nothing.
+    """
+    cycles = getattr(result, "cycles", None)
+    retired = getattr(result, "retired", None)
+    if isinstance(cycles, int) and isinstance(retired, int):
+        return cycles, retired
+    if isinstance(result, dict):
+        if isinstance(result.get("cycles"), int):
+            return result["cycles"], result.get("retired", 0)
+        result = result.values()
+    if isinstance(result, (list, tuple)) or not isinstance(result, str) \
+            and hasattr(result, "__iter__"):
+        total_c = total_r = 0
+        for item in result:
+            c, r = _extract_counts(item)
+            total_c += c
+            total_r += r
+        return total_c, total_r
+    return 0, 0
+
+
+def _record_perf(experiment, wall, result, jobs=None):
+    cycles, retired = _extract_counts(result)
+    entry = {
+        "experiment": experiment,
+        "wall_s": round(wall, 3),
+        "cycles": cycles,
+        "retired": retired,
+        "cycles_per_s": round(cycles / wall) if wall > 0 else 0,
+        "retired_per_s": round(retired / wall) if wall > 0 else 0,
+        "date": time.strftime("%Y-%m-%d %H:%M:%S"),
+    }
+    if jobs is not None:
+        entry["jobs"] = jobs
+    try:
+        with open(_PERF_PATH) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        data = {"runs": []}
+    data["runs"].append(entry)
+    with open(_PERF_PATH, "w") as handle:
+        json.dump(data, handle, indent=2)
+        handle.write("\n")
+
+
+# ---- fixtures ---------------------------------------------------------------
+
+
 @pytest.fixture
-def once(benchmark):
-    """Run a callable exactly once under pytest-benchmark timing."""
+def once(benchmark, request):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    Also appends the measurement to the BENCH_perf.json trajectory.
+    """
 
     def runner(fn, *args, **kwargs):
-        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
-                                  iterations=1, rounds=1)
+        t0 = time.perf_counter()
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                    iterations=1, rounds=1)
+        _record_perf(request.node.name, time.perf_counter() - t0, result)
+        return result
 
     return runner
+
+
+@pytest.fixture
+def fanout(request):
+    """Run independent simulation tasks through the parallel runner.
+
+    ``fanout(tasks, jobs=None)`` forwards to
+    :func:`repro.eval.runner.run_experiments` (tasks are ``(key, fn,
+    args, kwargs)`` tuples, merged in task order), times the batch, and
+    appends the measurement to BENCH_perf.json.  ``jobs`` defaults to
+    ``LBP_BENCH_JOBS`` or one worker per CPU; the merged results are
+    byte-identical whatever the worker count.
+    """
+    from repro.eval.runner import run_experiments
+
+    def run(tasks, jobs=None):
+        if jobs is None:
+            jobs = bench_jobs()
+        t0 = time.perf_counter()
+        results = run_experiments(tasks, jobs=jobs)
+        _record_perf(request.node.name, time.perf_counter() - t0,
+                     results, jobs=jobs)
+        return results
+
+    return run

@@ -52,9 +52,8 @@ def _ipc(members):
     return stats.ipc
 
 
-def test_multithreading_fills_the_pipeline(once):
-    curve = {members: _ipc(members) for members in (1, 2, 3, 4)}
-    once(lambda: None)
+def test_multithreading_fills_the_pipeline(fanout):
+    curve = fanout([(members, _ipc, (members,)) for members in (1, 2, 3, 4)])
     print()
     for members, value in curve.items():
         print("  %d active hart(s): IPC %.3f  %s"

@@ -27,17 +27,19 @@ def _run(version, hop_latency, scale):
     return stats.cycles
 
 
-def test_router_latency_sweep(once):
+def test_router_latency_sweep(fanout):
     scale = bench_scale(8)
     hops = (1, 2, 4)
+    versions = ("base", "d+c")
 
-    def sweep():
-        return {
-            version: [_run(version, hop, scale) for hop in hops]
-            for version in ("base", "d+c")
-        }
-
-    results = once(sweep)
+    points = fanout([
+        ("%s/hop%d" % (version, hop), _run, (version, hop, scale))
+        for version in versions for hop in hops
+    ])
+    results = {
+        version: [points["%s/hop%d" % (version, hop)] for hop in hops]
+        for version in versions
+    }
     print()
     print("16-core machine, link hop latency swept over", list(hops))
     for version, cycles in results.items():

@@ -12,8 +12,6 @@ run (seed), even though the results are the same — which is exactly why
 the paper's Xeon measurements needed 1000 runs and a minimum.
 """
 
-from conftest import bench_scale
-
 from repro.baselines import ClassicSMP
 from repro.compiler import compile_to_program
 from repro.machine import LBP, Params
@@ -31,9 +29,13 @@ def _traced_run():
     return stats, machine.trace.events
 
 
-def test_lbp_cycle_determinism(once):
-    (stats_a, trace_a) = once(_traced_run)
-    (stats_b, trace_b) = _traced_run()
+def test_lbp_cycle_determinism(fanout):
+    # the two repeats run in separate worker processes through the
+    # parallel runner — determinism must hold across process boundaries
+    results = fanout([("run_a", _traced_run), ("run_b", _traced_run)],
+                     jobs=2)
+    (stats_a, trace_a) = results["run_a"]
+    (stats_b, trace_b) = results["run_b"]
     print()
     print("run A: %d cycles, %d retired, %d trace events"
           % (stats_a.cycles, stats_a.retired, len(trace_a)))

@@ -1,8 +1,10 @@
 """Figure 20 — the five matmul versions on a 16-core / 64-hart LBP.
 
-Cycle-accurate simulation at h=64.  Default work scale is 1/4 (set
-``LBP_BENCH_SCALE=1`` for the full paper size); the scale shrinks the
-columns each thread computes, not the placement or team structure.
+Cycle-accurate simulation at h=64.  Default work scale is 1/2 — raised
+from 1/4 by the hot-path overhaul (active-core gating + pre-lowered
+decode), which bought back enough wall clock to double the default work
+(set ``LBP_BENCH_SCALE=1`` for the full paper size); the scale shrinks
+the columns each thread computes, not the placement or team structure.
 
 Shape asserted (paper §7):
 * copy is the fastest version and beats base by a clear margin
@@ -20,7 +22,7 @@ CORES = 16
 
 
 def test_fig20_matmul_16core(once):
-    scale = bench_scale(4)
+    scale = bench_scale(2)
     rows = once(run_matmul_figure, H, CORES, scale, "cycle")
     print()
     print(format_rows(

@@ -8,6 +8,8 @@ Usage (installed as ``python -m repro``):
     python -m repro run prog.c --sim fast        # fast simulator
     python -m repro run prog.c --trace --trace-limit 50
     python -m repro run prog.c --print total,v:8 # dump globals after the run
+    python -m repro run prog.c --profile         # cProfile the simulation
+    python -m repro experiments --h 16 --cores 4 # figure sweep, parallel
 """
 
 import argparse
@@ -47,7 +49,18 @@ def cmd_run(args):
                     trace_enabled=args.trace or args.timeline)
     machine = FastLBP(params) if args.sim == "fast" else LBP(params)
     machine.load(program)
-    stats = machine.run(max_cycles=args.max_cycles)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        stats = machine.run(max_cycles=args.max_cycles)
+        profiler.disable()
+        print("--- profile (top 20 by cumulative time) ---")
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+    else:
+        stats = machine.run(max_cycles=args.max_cycles)
 
     print("halt     :", getattr(machine, "halt_reason", "exit"))
     print("cycles   :", stats.cycles)
@@ -78,6 +91,23 @@ def cmd_run(args):
     return 0
 
 
+def cmd_experiments(args):
+    from repro.eval import format_rows, run_experiments, run_matmul_experiment
+    from repro.workloads.matmul import MATMUL_VERSIONS
+
+    tasks = [
+        (version, run_matmul_experiment,
+         (version, args.h, args.cores, args.scale, args.sim))
+        for version in MATMUL_VERSIONS
+    ]
+    rows = run_experiments(tasks, jobs=args.jobs)
+    print(format_rows(
+        rows,
+        title="matmul figure — h=%d, %d cores, scale=1/%d, %s sim"
+              % (args.h, args.cores, args.scale, args.sim)))
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="repro", description="Deterministic OpenMP / LBP toolchain")
@@ -102,7 +132,22 @@ def main(argv=None):
                        help="render per-hart activity lanes (implies traces)")
     p_run.add_argument("--print", metavar="NAME[:N],...",
                        help="dump globals after the run")
+    p_run.add_argument("--profile", action="store_true",
+                       help="run under cProfile; print top-20 cumulative")
     p_run.set_defaults(func=cmd_run)
+
+    p_exp = sub.add_parser(
+        "experiments",
+        help="run a matmul figure sweep through the parallel runner")
+    p_exp.add_argument("--h", type=int, default=16,
+                       help="total hart count of the figure (16/64/256)")
+    p_exp.add_argument("--cores", type=int, default=4)
+    p_exp.add_argument("--scale", type=int, default=1,
+                       help="work-scale divisor (see LBP_BENCH_SCALE)")
+    p_exp.add_argument("--sim", choices=("cycle", "fast"), default="cycle")
+    p_exp.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: one per CPU)")
+    p_exp.set_defaults(func=cmd_experiments)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -4,7 +4,9 @@
 on either simulator and formats paper-vs-measured tables;
 :mod:`repro.eval.paper_data` records the numbers the paper's text states
 for figures 19-21 (the HAL preprint renders the histograms as images, so
-only the values quoted in prose are available as ground truth).
+only the values quoted in prose are available as ground truth);
+:mod:`repro.eval.runner` fans independent simulations out to worker
+processes with a deterministic task-order merge.
 """
 
 from repro.eval.figures import (
@@ -13,12 +15,15 @@ from repro.eval.figures import (
     run_matmul_figure,
 )
 from repro.eval.paper_data import PAPER_FIG19, PAPER_FIG20, PAPER_FIG21
+from repro.eval.runner import default_jobs, run_experiments
 
 __all__ = [
     "PAPER_FIG19",
     "PAPER_FIG20",
     "PAPER_FIG21",
+    "default_jobs",
     "format_rows",
+    "run_experiments",
     "run_matmul_experiment",
     "run_matmul_figure",
 ]

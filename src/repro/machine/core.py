@@ -7,24 +7,57 @@ predictor: a hart is suspended after every fetch until its next pc is
 known (at decode for straight-line code and direct jumps, at issue for
 branches and indirect jumps), so multithreading — not speculation — fills
 the pipeline.
+
+The stages work on :class:`~repro.machine.lowered.LoweredInstr` records
+(pre-extracted class, operands, callables) so the per-cycle loop never
+re-chases ``Instruction``/spec attributes; see ``machine/lowered.py``.
 """
 
-from repro.isa.semantics import (
-    ALU_OPS,
-    BRANCH_OPS,
-    join_hart,
-    p_merge_value,
-    p_set_value,
-)
+from repro.isa.semantics import join_hart, p_merge_value, p_set_value
 from repro.isa.spec import InstrClass
 from repro.machine.hart import Hart, ITEntry, ROBEntry
 from repro.machine.memory import CoreMemory
 
 _C = InstrClass
 
+# pre-bound int values of the InstrClass members (LoweredInstr.cls is a
+# plain int so the dispatch below compares ints, not enum members)
+_ALU = int(_C.ALU)
+_MULDIV = int(_C.MULDIV)
+_LOAD = int(_C.LOAD)
+_STORE = int(_C.STORE)
+_BRANCH = int(_C.BRANCH)
+_JAL = int(_C.JAL)
+_JALR = int(_C.JALR)
+_LUI = int(_C.LUI)
+_AUIPC = int(_C.AUIPC)
+_SYSTEM = int(_C.SYSTEM)
+_FENCE = int(_C.FENCE)
+_P_FC = int(_C.P_FC)
+_P_FN = int(_C.P_FN)
+_P_SWCV = int(_C.P_SWCV)
+_P_LWCV = int(_C.P_LWCV)
+_P_SWRE = int(_C.P_SWRE)
+_P_LWRE = int(_C.P_LWRE)
+_P_JAL = int(_C.P_JAL)
+_P_JALR = int(_C.P_JALR)
+_P_SET = int(_C.P_SET)
+_P_MERGE = int(_C.P_MERGE)
+_P_SYNCM = int(_C.P_SYNCM)
+
+# hart scan orders by rotating-priority start index: _ORDER[start] is the
+# deterministic probe sequence (start, start+1, ... mod 4)
+_ORDER = ((0, 1, 2, 3), (1, 2, 3, 0), (2, 3, 0, 1), (3, 0, 1, 2))
+
 
 class Core:
     """One core: pipeline stages, four harts, three banks."""
+
+    __slots__ = (
+        "index", "machine", "mem", "harts", "active",
+        "_rr_fetch", "_rr_rename", "_rr_issue", "_rr_wb", "_rr_commit",
+        "_rob_size",
+    )
 
     def __init__(self, index, machine):
         self.index = index
@@ -36,21 +69,26 @@ class Core:
                  machine.stats.harts[index][h])
             for h in range(params.harts_per_core)
         ]
+        #: gating flag: False while no hart of this core can do pipeline
+        #: work; maintained by Hart.start / the run loop (processor.py)
+        self.active = False
         # rotating-priority pointers, one per stage
-        self._rr = {"fetch": 0, "rename": 0, "issue": 0, "wb": 0, "commit": 0}
+        self._rr_fetch = 0
+        self._rr_rename = 0
+        self._rr_issue = 0
+        self._rr_wb = 0
+        self._rr_commit = 0
+        self._rob_size = params.rob_size
+
+    # ---- gating ------------------------------------------------------------
+
+    def activate(self):
+        """Mark this core runnable (idempotent; called on hart wakeup)."""
+        if not self.active:
+            self.active = True
+            self.machine._num_active += 1
 
     # ---- hart selection ----------------------------------------------------
-
-    def _rotate(self, stage, predicate):
-        """Pick the first hart satisfying *predicate*, rotating fairly."""
-        start = self._rr[stage]
-        count = len(self.harts)
-        for step in range(count):
-            hart = self.harts[(start + step) % count]
-            if predicate(hart):
-                self._rr[stage] = (hart.index + 1) % count
-                return hart
-        return None
 
     def alloc_free_hart(self):
         """Lowest-numbered free hart, or None (deterministic)."""
@@ -59,160 +97,7 @@ class Core:
                 return hart
         return None
 
-    # ---- fetch -------------------------------------------------------------
-
-    def _can_fetch(self, hart):
-        return (
-            hart.pc is not None
-            and not hart.awaiting_nextpc
-            and not hart.syncm_block
-            and hart.fetch_buf is None
-            and not hart.reserved
-            and self.machine.cycle >= hart.fetch_ready_at
-        )
-
-    def stage_fetch(self):
-        harts = self.harts
-        start = self._rr["fetch"]
-        cycle = self.machine.cycle
-        hart = None
-        for step in range(4):
-            candidate = harts[(start + step) & 3]
-            if (
-                candidate.pc is not None
-                and not candidate.awaiting_nextpc
-                and not candidate.syncm_block
-                and candidate.fetch_buf is None
-                and not candidate.reserved
-                and cycle >= candidate.fetch_ready_at
-            ):
-                hart = candidate
-                break
-        if hart is None:
-            return
-        self._rr["fetch"] = (hart.index + 1) & 3
-        ins = self.machine.fetch_instruction(hart.pc, hart)
-        hart.fetch_buf = (hart.pc, ins)
-        hart.awaiting_nextpc = True  # suspended until next pc is known
-
-    # ---- decode / rename ---------------------------------------------------
-
-    def _can_rename(self, hart):
-        return (
-            hart.fetch_buf is not None
-            and len(hart.rob) < self.machine.params.rob_size
-        )
-
-    def stage_rename(self):
-        harts = self.harts
-        start = self._rr["rename"]
-        rob_size = self.machine.params.rob_size
-        hart = None
-        for step in range(4):
-            candidate = harts[(start + step) & 3]
-            if candidate.fetch_buf is not None and len(candidate.rob) < rob_size:
-                hart = candidate
-                break
-        if hart is None:
-            return
-        self._rr["rename"] = (hart.index + 1) & 3
-        pc, ins = hart.fetch_buf
-        hart.fetch_buf = None
-        spec = ins.spec
-        tag = self.machine.next_tag()
-
-        vals, waits = [], []
-        for field in spec.reads:
-            reg = ins.rs1 if field == "rs1" else ins.rs2
-            value, wait = hart.read_source(reg)
-            vals.append(value)
-            waits.append(wait)
-
-        entry = ITEntry(tag, ins, pc, vals, waits)
-        hart.it.append(entry)
-        hart.rob.append(ROBEntry(tag, ins))
-        if spec.writes_rd and ins.rd != 0:
-            hart.rename[ins.rd] = tag
-
-        # next-pc determination (fetch resumes when it is known)
-        cls = spec.cls
-        cycle = self.machine.cycle
-        if cls == _C.BRANCH or cls == _C.JALR or cls == _C.P_JALR:
-            pass  # resolved at issue; hart stays suspended
-        elif cls == _C.JAL or cls == _C.P_JAL:
-            hart.pc = (pc + ins.imm) & 0xFFFFFFFF
-            hart.awaiting_nextpc = False
-            hart.fetch_ready_at = cycle + 1
-        elif cls == _C.SYSTEM:
-            hart.pc = None  # halts (ebreak) or traps (ecall) at commit
-            hart.awaiting_nextpc = False
-        else:
-            hart.pc = pc + 4
-            hart.awaiting_nextpc = False
-            hart.fetch_ready_at = cycle + 1
-            if cls == _C.P_SYNCM:
-                hart.syncm_block = True
-
     # ---- issue / execute ---------------------------------------------------
-
-    def _entry_ready(self, hart, entry, older_store_pending):
-        if not entry.sources_ready():
-            return False
-        ins = entry.ins
-        spec = ins.spec
-        cls = spec.cls
-        if spec.writes_rd and ins.rd != 0 and hart.rb.busy:
-            return False
-        if cls == _C.LOAD or cls == _C.P_LWCV:
-            # LBP has no load/store queue; the minimal disambiguation we
-            # model is: a load waits for all older stores of its hart to
-            # have issued (port FIFO then orders same-bank accesses).
-            return not older_store_pending
-        if cls == _C.P_LWRE:
-            index = ins.imm % len(hart.re_buffers)
-            return hart.re_buffers[index] is not None
-        if cls == _C.P_FC:
-            return self.alloc_free_hart() is not None
-        if cls == _C.P_FN:
-            next_core = self.machine.core_after(self)
-            if next_core is None:
-                # teams only expand along the line of cores (paper §5.1);
-                # a fork past the last core can never succeed
-                self.machine.error(
-                    "p_fn on the last core (hart %d): no next core to fork on"
-                    % hart.gid)
-                return False
-            return next_core.alloc_free_hart() is not None
-        if cls == _C.P_SYNCM:
-            return entry is hart.it[0] and hart.outstanding_mem == 0
-        return True
-
-    def _pick_issue(self, hart):
-        """Oldest ready entry of *hart*, or None."""
-        older_store_pending = False
-        for entry in hart.it:
-            if self._entry_ready(hart, entry, older_store_pending):
-                return entry
-            cls = entry.ins.spec.cls
-            if cls == _C.STORE or cls == _C.P_SWCV:
-                older_store_pending = True
-        return None
-
-    def stage_issue(self):
-        harts = self.harts
-        start = self._rr["issue"]
-        for step in range(4):
-            hart = harts[(start + step) & 3]
-            if not hart.it:
-                continue
-            entry = self._pick_issue(hart)
-            if entry is None:
-                continue
-            self._rr["issue"] = (hart.index + 1) & 3
-            hart.it.remove(entry)
-            entry.issued = True
-            self._execute(hart, entry)
-            return
 
     def _rob_entry(self, hart, tag):
         for rob_entry in hart.rob:
@@ -222,12 +107,11 @@ class Core:
 
     def _finish_at(self, hart, entry, value, ready_at):
         """Route a register result through the writeback buffer."""
-        ins = entry.ins
-        if ins.spec.writes_rd and ins.rd != 0:
-            hart.rb.occupy(entry.tag, ins.rd)
+        if entry.low.writes:
+            hart.rb.occupy(entry.tag, entry.low.rd, entry.rob)
             hart.rb.fill(value, ready_at)
         else:
-            self._rob_entry(hart, entry.tag).done = True
+            entry.rob.done = True
 
     def _resolve_pc(self, hart, target):
         hart.pc = target & 0xFFFFFFFF
@@ -237,81 +121,93 @@ class Core:
     def _execute(self, hart, entry):
         machine = self.machine
         now = machine.cycle
-        ins = entry.ins
-        spec = ins.spec
-        cls = spec.cls
+        low = entry.low
+        cls = low.cls
         vals = entry.vals
 
-        if cls == _C.ALU or cls == _C.MULDIV:
+        if cls == _ALU or cls == _MULDIV:
+            # the single hottest path: compute and route the result
+            # through the writeback buffer with _finish_at inlined
             a = vals[0]
-            b = vals[1] if len(vals) == 2 else ins.imm
-            value = ALU_OPS[ins.mnemonic](a, b)
-            self._finish_at(hart, entry, value, now + machine.params.latency_for(spec))
-        elif cls == _C.LUI:
-            self._finish_at(hart, entry, (ins.imm << 12) & 0xFFFFFFFF, now + 1)
-        elif cls == _C.AUIPC:
-            self._finish_at(hart, entry, (entry.pc + (ins.imm << 12)) & 0xFFFFFFFF, now + 1)
-        elif cls == _C.JAL:
+            b = vals[1] if len(vals) == 2 else low.imm
+            value = low.op(a, b)
+            if low.writes:
+                rb = hart.rb
+                rb.busy = True
+                rb.tag = entry.tag
+                rb.reg = low.rd
+                rb.value = value & 0xFFFFFFFF
+                rb.ready_at = now + low.latency
+                rb.rob = entry.rob
+            else:
+                entry.rob.done = True
+        elif cls == _LUI:
+            self._finish_at(hart, entry, (low.imm << 12) & 0xFFFFFFFF, now + 1)
+        elif cls == _AUIPC:
+            self._finish_at(hart, entry, (entry.pc + (low.imm << 12)) & 0xFFFFFFFF, now + 1)
+        elif cls == _JAL:
             self._finish_at(hart, entry, entry.pc + 4, now + 1)
-        elif cls == _C.JALR:
-            self._resolve_pc(hart, (vals[0] + ins.imm) & 0xFFFFFFFE)
+        elif cls == _JALR:
+            self._resolve_pc(hart, (vals[0] + low.imm) & 0xFFFFFFFE)
             self._finish_at(hart, entry, entry.pc + 4, now + 1)
-        elif cls == _C.BRANCH:
-            taken = BRANCH_OPS[ins.mnemonic](vals[0], vals[1])
-            self._resolve_pc(hart, entry.pc + ins.imm if taken else entry.pc + 4)
-            self._rob_entry(hart, entry.tag).done = True
-        elif cls == _C.LOAD:
-            addr = (vals[0] + ins.imm) & 0xFFFFFFFF
-            machine.schedule_load(self, hart, entry.tag, ins, addr)
+        elif cls == _BRANCH:
+            taken = low.op(vals[0], vals[1])
+            self._resolve_pc(hart, entry.pc + low.imm if taken else entry.pc + 4)
+            entry.rob.done = True
+        elif cls == _LOAD:
+            addr = (vals[0] + low.imm) & 0xFFFFFFFF
+            machine.schedule_load(self, hart, entry, low, addr)
             hart.stats.loads += 1
-        elif cls == _C.STORE:
-            addr = (vals[0] + ins.imm) & 0xFFFFFFFF
-            machine.schedule_store(self, hart, entry.tag, ins, addr, vals[1])
+        elif cls == _STORE:
+            addr = (vals[0] + low.imm) & 0xFFFFFFFF
+            machine.schedule_store(self, hart, entry, low, addr, vals[1])
             hart.stats.stores += 1
-        elif cls == _C.SYSTEM or cls == _C.FENCE:
-            self._rob_entry(hart, entry.tag).done = True
-        elif cls == _C.P_SET:
+        elif cls == _SYSTEM or cls == _FENCE:
+            entry.rob.done = True
+        elif cls == _P_SET:
             value = p_set_value(vals[0], self.index, hart.index)
             self._finish_at(hart, entry, value, now + 1)
-        elif cls == _C.P_MERGE:
+        elif cls == _P_MERGE:
             self._finish_at(hart, entry, p_merge_value(vals[0], vals[1]), now + 1)
-        elif cls == _C.P_FC or cls == _C.P_FN:
-            target_core = self if cls == _C.P_FC else machine.core_after(self)
+        elif cls == _P_FC or cls == _P_FN:
+            target_core = self if cls == _P_FC else machine.core_after(self)
             target = target_core.alloc_free_hart()
             target.reserve_for_fork(hart)
+            machine.wake_re_waiters(target)
             hart.stats.forks += 1
             machine.stats.forks += 1
             machine.trace.record(now, self.index, hart.index, "fork",
                                  "allocate hart %d" % target.gid)
             self._finish_at(hart, entry, target.gid, now + 1)
-        elif cls == _C.P_SWCV:
+        elif cls == _P_SWCV:
             machine.schedule_cv_write(
-                self, hart, entry.tag, vals[0] & 0xFFFF, ins.imm, vals[1])
-        elif cls == _C.P_LWCV:
-            addr = machine.cv_address(hart, ins.imm)
-            machine.schedule_load(self, hart, entry.tag, ins, addr)
-        elif cls == _C.P_SWRE:
+                self, hart, entry, vals[0] & 0xFFFF, low.imm, vals[1])
+        elif cls == _P_LWCV:
+            addr = machine.cv_address(hart, low.imm)
+            machine.schedule_load(self, hart, entry, low, addr)
+        elif cls == _P_SWRE:
             machine.schedule_re_send(
-                self, hart, entry.tag, vals[0] & 0xFFFF, ins.imm, vals[1])
-        elif cls == _C.P_LWRE:
-            index = ins.imm % len(hart.re_buffers)
-            value = hart.re_buffers[index]
-            hart.re_buffers[index] = None
+                self, hart, entry, vals[0] & 0xFFFF, low.imm, vals[1])
+        elif cls == _P_LWRE:
+            slot = low.re_slot
+            value = hart.re_buffers[slot]
+            hart.re_buffers[slot] = None
+            machine.wake_re_waiters(hart, slot)
             self._finish_at(hart, entry, value, now + 1)
-        elif cls == _C.P_JAL:
+        elif cls == _P_JAL:
             # next pc already resolved at decode; send pc+4, clear rd
             machine.send_start_pc(self, hart, vals[0] & 0xFFFF, entry.pc + 4)
             self._finish_at(hart, entry, 0, now + 1)
-        elif cls == _C.P_JALR:
-            if ins.rd == 0:
+        elif cls == _P_JALR:
+            if low.rd == 0:
                 self._execute_p_ret(hart, entry)
             else:
                 machine.send_start_pc(self, hart, vals[0] & 0xFFFF, entry.pc + 4)
                 self._resolve_pc(hart, vals[1] & 0xFFFFFFFE)
                 self._finish_at(hart, entry, 0, now + 1)
-        elif cls == _C.P_SYNCM:
+        elif cls == _P_SYNCM:
             hart.syncm_block = False
-            self._rob_entry(hart, entry.tag).done = True
+            entry.rob.done = True
         else:
             raise AssertionError("unhandled instruction class %r" % (cls,))
 
@@ -327,73 +223,12 @@ class Core:
                 action = ("end", None, None)
         else:
             action = ("join", join_hart(t0), ra)
-        rob_entry = self._rob_entry(hart, entry.tag)
+        rob_entry = entry.rob
         rob_entry.ret_action = action
         rob_entry.done = True
         # no further fetch on this hart until a join or a new fork
         hart.pc = None
         hart.awaiting_nextpc = False
-
-    # ---- writeback ---------------------------------------------------------
-
-    def _can_writeback(self, hart):
-        rb = hart.rb
-        return rb.busy and rb.value is not None and rb.ready_at <= self.machine.cycle
-
-    def stage_writeback(self):
-        harts = self.harts
-        start = self._rr["wb"]
-        cycle = self.machine.cycle
-        for step in range(4):
-            hart = harts[(start + step) & 3]
-            rb = hart.rb
-            if rb.busy and rb.value is not None and rb.ready_at <= cycle:
-                self._rr["wb"] = (hart.index + 1) & 3
-                hart.writeback(rb.tag, rb.reg, rb.value)
-                self._rob_entry(hart, rb.tag).done = True
-                rb.release()
-                return
-
-    # ---- commit ------------------------------------------------------------
-
-    def _can_commit(self, hart):
-        if not hart.rob or not hart.rob[0].done:
-            return False
-        head = hart.rob[0]
-        if head.ret_action is not None:
-            # the ordered-release barrier: wait for the predecessor's
-            # ending-hart signal (if this hart was forked and the link is
-            # still pending), and for our own memory writes to be visible
-            if hart.pred is not None and not hart.pred_done:
-                return False
-            if hart.outstanding_mem != 0:
-                return False
-        return True
-
-    def stage_commit(self):
-        harts = self.harts
-        start = self._rr["commit"]
-        hart = None
-        for step in range(4):
-            candidate = harts[(start + step) & 3]
-            if candidate.rob and candidate.rob[0].done \
-                    and self._can_commit(candidate):
-                hart = candidate
-                break
-        if hart is None:
-            return
-        self._rr["commit"] = (hart.index + 1) & 3
-        head = hart.rob.pop(0)
-        hart.stats.retired += 1
-        machine = self.machine
-        if head.ins.mnemonic == "ebreak":
-            machine.halt("ebreak")
-            return
-        if head.ins.mnemonic == "ecall":
-            machine.error("ecall is not supported on bare-metal LBP")
-            return
-        if head.ret_action is not None:
-            self._commit_p_ret(hart, head)
 
     def _commit_p_ret(self, hart, head):
         machine = self.machine
@@ -432,19 +267,236 @@ class Core:
     # ---- per-cycle ---------------------------------------------------------
 
     def tick(self):
-        """Run the five stages for one cycle (commit-side first)."""
+        """Run the five stages for one cycle (commit-side first).
+
+        All five stages are inlined here — this method runs once per
+        active core per simulated cycle and used to spend most of its
+        time on Python call overhead.  Each stage block selects at most
+        one hart by deterministic rotating priority, exactly as the
+        former ``stage_*`` methods did.
+
+        Returns True when any hart had pipeline work; False means the
+        core is quiescent and the run loop may gate it off until a
+        wakeup (``Hart.start``) re-activates it.
+        """
+        harts = self.harts
         busy = False
-        for hart in self.harts:
+        for hart in harts:
             if hart.pc is not None or hart.rob or hart.fetch_buf is not None:
                 busy = True
                 break
         if not busy:
-            return
-        self.stage_commit()
-        self.stage_writeback()
-        self.stage_issue()
-        self.stage_rename()
-        self.stage_fetch()
+            return False
+        machine = self.machine
+        cycle = machine.cycle
+
+        # ---- commit ----
+        for h in _ORDER[self._rr_commit]:
+            hart = harts[h]
+            rob = hart.rob
+            if not rob:
+                continue
+            head = rob[0]
+            if not head.done:
+                continue
+            if head.ret_action is not None:
+                # the ordered-release barrier: wait for the predecessor's
+                # ending-hart signal (if this hart was forked and the
+                # link is still pending), and for our own memory writes
+                # to be visible
+                if hart.pred is not None and not hart.pred_done:
+                    continue
+                if hart.outstanding_mem != 0:
+                    continue
+            self._rr_commit = (h + 1) & 3
+            rob.pop(0)
+            hart.stats.retired += 1
+            low = head.low
+            if low.is_ebreak:
+                machine.halt("ebreak")
+            elif low.is_ecall:
+                machine.error("ecall is not supported on bare-metal LBP")
+            elif head.ret_action is not None:
+                self._commit_p_ret(hart, head)
+            break
+
+        # ---- writeback ----
+        for h in _ORDER[self._rr_wb]:
+            hart = harts[h]
+            rb = hart.rb
+            if rb.busy and rb.value is not None and rb.ready_at <= cycle:
+                self._rr_wb = (h + 1) & 3
+                # Hart.writeback inlined: latest-rename register update
+                # plus the broadcast to waiting instruction-table entries
+                tag = rb.tag
+                value = rb.value
+                reg = rb.reg
+                rename = hart.rename
+                if reg != 0 and rename[reg] == tag:
+                    hart.regs[reg] = value
+                    rename[reg] = None
+                for waiter in hart.it:
+                    waits = waiter.waits
+                    if tag in waits:
+                        for slot, wait in enumerate(waits):
+                            if wait == tag:
+                                waits[slot] = None
+                                waiter.vals[slot] = value
+                                waiter.nwaits -= 1
+                rb.rob.done = True
+                rb.busy = False
+                rb.tag = None
+                rb.value = None
+                rb.rob = None
+                break
+
+        # ---- issue (oldest ready entry of the first eligible hart) ----
+        for h in _ORDER[self._rr_issue]:
+            hart = harts[h]
+            it = hart.it
+            if not it:
+                continue
+            entry = None
+            older_store_pending = False
+            rb_busy = hart.rb.busy
+            for candidate in it:
+                ready = candidate.nwaits == 0
+                if ready:
+                    low = candidate.low
+                    cls = low.cls
+                    if low.writes and rb_busy:
+                        ready = False
+                    elif cls == _LOAD or cls == _P_LWCV:
+                        # LBP has no load/store queue; the minimal
+                        # disambiguation we model is: a load waits for
+                        # all older stores of its hart to have issued
+                        # (port FIFO then orders same-bank accesses)
+                        ready = not older_store_pending
+                    elif cls == _P_LWRE:
+                        ready = hart.re_buffers[low.re_slot] is not None
+                    elif cls == _P_FC:
+                        ready = self.alloc_free_hart() is not None
+                    elif cls == _P_FN:
+                        next_core = machine.core_after(self)
+                        if next_core is None:
+                            # teams only expand along the line of cores
+                            # (paper §5.1); a fork past the last core can
+                            # never succeed
+                            machine.error(
+                                "p_fn on the last core (hart %d): "
+                                "no next core to fork on" % hart.gid)
+                            ready = False
+                        else:
+                            ready = next_core.alloc_free_hart() is not None
+                    elif cls == _P_SYNCM:
+                        ready = candidate is it[0] and hart.outstanding_mem == 0
+                if ready:
+                    entry = candidate
+                    break
+                cls = candidate.low.cls
+                if cls == _STORE or cls == _P_SWCV:
+                    older_store_pending = True
+            if entry is None:
+                continue
+            self._rr_issue = (h + 1) & 3
+            it.remove(entry)
+            entry.issued = True
+            low = entry.low
+            cls = low.cls
+            if cls == _ALU or cls == _MULDIV:
+                # the hottest execute path, inlined (mirrors _execute)
+                vals = entry.vals
+                a = vals[0]
+                b = vals[1] if len(vals) == 2 else low.imm
+                value = low.op(a, b)
+                if low.writes:
+                    rb = hart.rb
+                    rb.busy = True
+                    rb.tag = entry.tag
+                    rb.reg = low.rd
+                    rb.value = value & 0xFFFFFFFF
+                    rb.ready_at = cycle + low.latency
+                    rb.rob = entry.rob
+                else:
+                    entry.rob.done = True
+            else:
+                self._execute(hart, entry)
+            break
+
+        # ---- decode / rename ----
+        rob_size = self._rob_size
+        for h in _ORDER[self._rr_rename]:
+            hart = harts[h]
+            fetch_buf = hart.fetch_buf
+            if fetch_buf is None or len(hart.rob) >= rob_size:
+                continue
+            self._rr_rename = (h + 1) & 3
+            pc, low = fetch_buf
+            hart.fetch_buf = None
+            tag = machine._tag + 1
+            machine._tag = tag
+
+            vals, waits = [], []
+            regs = hart.regs
+            rename = hart.rename
+            for reg in low.reads:
+                if reg == 0:
+                    vals.append(0)
+                    waits.append(None)
+                else:
+                    producer = rename[reg]
+                    if producer is None:
+                        vals.append(regs[reg])
+                        waits.append(None)
+                    else:
+                        vals.append(None)
+                        waits.append(producer)
+
+            rob_entry = ROBEntry(tag, low)
+            hart.it.append(ITEntry(tag, low, pc, vals, waits, rob_entry))
+            hart.rob.append(rob_entry)
+            if low.writes:
+                rename[low.rd] = tag
+
+            # next-pc determination (fetch resumes when it is known)
+            cls = low.cls
+            if cls == _BRANCH or cls == _JALR or cls == _P_JALR:
+                pass  # resolved at issue; hart stays suspended
+            elif cls == _JAL or cls == _P_JAL:
+                hart.pc = (pc + low.imm) & 0xFFFFFFFF
+                hart.awaiting_nextpc = False
+                hart.fetch_ready_at = cycle + 1
+            elif cls == _SYSTEM:
+                hart.pc = None  # halts (ebreak) or traps (ecall) at commit
+                hart.awaiting_nextpc = False
+            else:
+                hart.pc = pc + 4
+                hart.awaiting_nextpc = False
+                hart.fetch_ready_at = cycle + 1
+                if cls == _P_SYNCM:
+                    hart.syncm_block = True
+            break
+
+        # ---- fetch ----
+        for h in _ORDER[self._rr_fetch]:
+            hart = harts[h]
+            pc = hart.pc
+            if (
+                pc is not None
+                and not hart.awaiting_nextpc
+                and not hart.syncm_block
+                and hart.fetch_buf is None
+                and not hart.reserved
+                and cycle >= hart.fetch_ready_at
+            ):
+                self._rr_fetch = (h + 1) & 3
+                low = machine.lowered.get(pc)
+                if low is None:  # non-code address: the slow error path
+                    low = machine.fetch_instruction(pc, hart)
+                hart.fetch_buf = (pc, low)
+                hart.awaiting_nextpc = True  # suspended until next pc known
+                break
+        return True
 
     def any_activity_possible(self):
         """Cheap liveness check for deadlock detection.

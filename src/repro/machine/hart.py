@@ -17,30 +17,37 @@ from repro import memmap
 class ITEntry:
     """One instruction waiting (or executing) in the instruction table."""
 
-    __slots__ = ("tag", "ins", "pc", "vals", "waits", "issued")
+    __slots__ = ("tag", "low", "pc", "vals", "waits", "nwaits", "issued", "rob")
 
-    def __init__(self, tag, ins, pc, vals, waits):
+    def __init__(self, tag, low, pc, vals, waits, rob):
         self.tag = tag
-        self.ins = ins
+        #: the :class:`~repro.machine.lowered.LoweredInstr` at this pc
+        self.low = low
         self.pc = pc
-        #: source values, aligned with ins.spec.reads (None while waiting)
+        #: source values, aligned with low.reads (None while waiting)
         self.vals = vals
         #: producer tags awaited, aligned with vals (None when value present)
         self.waits = waits
+        #: count of outstanding producers — the issue stage's O(1)
+        #: readiness check; kept in sync by the writeback broadcast
+        self.nwaits = len(waits) - waits.count(None)
         self.issued = False
+        #: the paired ROBEntry (created together at rename) — completion
+        #: paths mark ``rob.done`` directly instead of scanning by tag
+        self.rob = rob
 
     def sources_ready(self):
-        return all(wait is None for wait in self.waits)
+        return self.nwaits == 0
 
 
 class ROBEntry:
     """One reorder-buffer slot."""
 
-    __slots__ = ("tag", "ins", "done", "ret_action")
+    __slots__ = ("tag", "low", "done", "ret_action")
 
-    def __init__(self, tag, ins):
+    def __init__(self, tag, low):
         self.tag = tag
-        self.ins = ins
+        self.low = low
         self.done = False
         #: for p_ret: ("exit"|"wait"|"end"|"join", join_hart, join_addr)
         self.ret_action = None
@@ -49,7 +56,7 @@ class ROBEntry:
 class ResultBuffer:
     """The hart's single writeback buffer (one in-flight result)."""
 
-    __slots__ = ("busy", "tag", "reg", "value", "ready_at")
+    __slots__ = ("busy", "tag", "reg", "value", "ready_at", "rob")
 
     def __init__(self):
         self.busy = False
@@ -57,13 +64,16 @@ class ResultBuffer:
         self.reg = 0
         self.value = None
         self.ready_at = 0
+        #: ROBEntry of the occupying producer (writeback marks it done)
+        self.rob = None
 
-    def occupy(self, tag, reg):
+    def occupy(self, tag, reg, rob):
         self.busy = True
         self.tag = tag
         self.reg = reg
         self.value = None
         self.ready_at = 0
+        self.rob = rob
 
     def fill(self, value, ready_at):
         self.value = value & 0xFFFFFFFF
@@ -73,6 +83,7 @@ class ResultBuffer:
         self.busy = False
         self.tag = None
         self.value = None
+        self.rob = None
 
 
 class Hart:
@@ -84,7 +95,7 @@ class Hart:
         "pc", "awaiting_nextpc", "fetch_ready_at", "syncm_block",
         "fetch_buf",
         "it", "rob", "rb",
-        "re_buffers",
+        "re_buffers", "re_waiters",
         "outstanding_mem",
         "reserved", "waiting_join", "pending_join",
         "pred", "pred_done", "succ",
@@ -106,6 +117,10 @@ class Hart:
         self.rob = []
         self.rb = ResultBuffer()
         self.re_buffers = [None] * num_result_buffers
+        #: per-slot FIFO of parked p_swre deliveries (flow control: a
+        #: send that found the slot occupied waits here for the drain
+        #: wakeup instead of busy-retrying every cycle)
+        self.re_waiters = [[] for _ in range(num_result_buffers)]
         self.outstanding_mem = 0
         self.reserved = False
         self.waiting_join = False
@@ -151,13 +166,18 @@ class Hart:
         parent.succ = self
 
     def start(self, pc, cycle):
-        """Begin fetching at *pc* (fork start or join resume)."""
+        """Begin fetching at *pc* (fork start or join resume).
+
+        Also re-activates the owning core in the run loop's gating set —
+        this is the single idle→runnable transition a hart can make.
+        """
         self.pc = pc
         self.reserved = False
         self.waiting_join = False
         self.awaiting_nextpc = False
         self.syncm_block = False
         self.fetch_ready_at = cycle + 1
+        self.core.activate()
 
     def end(self):
         """The hart ends (p_ret cases 2 and 4): becomes free."""
@@ -187,16 +207,15 @@ class Hart:
         must not clobber the newer value.  Its value still reaches the
         consumers that captured its tag, via the broadcast below.
         """
+        value &= 0xFFFFFFFF
         if reg != 0 and self.rename[reg] == tag:
-            self.regs[reg] = value & 0xFFFFFFFF
+            self.regs[reg] = value
             self.rename[reg] = None
         for entry in self.it:
-            for slot, wait in enumerate(entry.waits):
-                if wait == tag:
-                    entry.waits[slot] = None
-                    entry.vals[slot] = value & 0xFFFFFFFF
-
-    def drop_rename(self, reg, tag):
-        """Forget a rename mapping for a producer that writes nothing."""
-        if reg != 0 and self.rename[reg] == tag:
-            self.rename[reg] = None
+            waits = entry.waits
+            if tag in waits:  # C-level scan first; a hit is the rare case
+                for slot, wait in enumerate(waits):
+                    if wait == tag:
+                        waits[slot] = None
+                        entry.vals[slot] = value
+                        entry.nwaits -= 1

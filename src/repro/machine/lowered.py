@@ -1,0 +1,82 @@
+"""Pre-lowered per-PC decode for the cycle-accurate simulator.
+
+The pipeline stages used to re-derive everything they need from the
+:class:`~repro.isa.instruction.Instruction` and its spec on every cycle:
+instruction class, source-register fields, writes-rd, ALU callable,
+latency, access width.  All of that is static per program location (and
+per machine, for latencies), so :meth:`repro.machine.processor.LBP.load`
+lowers the whole program once and the hot loop works on flat
+:class:`LoweredInstr` records — mirroring what ``fastsim`` already does
+with tuples.  Lowering changes *no* modelled behaviour: the simulator
+must stay bit-exact (see ``tests/integration/test_trace_golden.py``).
+"""
+
+from repro.isa.semantics import ALU_OPS, BRANCH_OPS, LOAD_WIDTH, STORE_WIDTH
+from repro.isa.spec import InstrClass
+
+_C = InstrClass
+
+
+class LoweredInstr:
+    """One program location, pre-chewed for the pipeline stages.
+
+    Attributes:
+        ins: the original :class:`Instruction` (kept for disassembly and
+            error reporting; the stages never touch it).
+        mnemonic, cls, rd, imm: copied out of the instruction/spec.
+        reads: source *register numbers* in operand order (the spec's
+            field names already resolved against rs1/rs2).
+        writes: True when the instruction produces a register result
+            (``spec.writes_rd`` and ``rd != 0`` folded together).
+        op: the ALU/branch callable, or None.
+        latency: execution latency in cycles (params-resolved).
+        width: access width in bytes for loads/stores, else 0.
+        re_slot: result-buffer slot for p_swre/p_lwre, else 0.
+        is_ebreak / is_ecall: commit-side traps, pre-tested.
+    """
+
+    __slots__ = (
+        "ins", "mnemonic", "cls", "rd", "imm", "reads", "writes",
+        "op", "latency", "width", "re_slot", "is_ebreak", "is_ecall",
+    )
+
+    def __init__(self, ins, params):
+        spec = ins.spec
+        mnemonic = ins.mnemonic
+        cls = spec.cls
+        self.ins = ins
+        self.mnemonic = mnemonic
+        self.cls = int(cls)
+        self.rd = ins.rd
+        self.imm = ins.imm
+        self.reads = tuple(
+            ins.rs1 if field == "rs1" else ins.rs2 for field in spec.reads
+        )
+        self.writes = spec.writes_rd and ins.rd != 0
+        if cls == _C.ALU or cls == _C.MULDIV:
+            self.op = ALU_OPS[mnemonic]
+        elif cls == _C.BRANCH:
+            self.op = BRANCH_OPS[mnemonic]
+        else:
+            self.op = None
+        self.latency = params.latency_for(spec)
+        if cls == _C.LOAD or cls == _C.P_LWCV:
+            self.width = LOAD_WIDTH[mnemonic]
+        elif cls == _C.STORE:
+            self.width = STORE_WIDTH[mnemonic]
+        else:
+            self.width = 0
+        if cls == _C.P_SWRE or cls == _C.P_LWRE:
+            self.re_slot = ins.imm % params.num_result_buffers
+        else:
+            self.re_slot = 0
+        self.is_ebreak = mnemonic == "ebreak"
+        self.is_ecall = mnemonic == "ecall"
+
+    def __repr__(self):
+        return "LoweredInstr(%r)" % (self.ins,)
+
+
+def lower_program(code, params):
+    """{pc: Instruction} -> {pc: LoweredInstr} for one machine's params."""
+    return {pc: LoweredInstr(ins, params) for pc, ins in code.items()}

@@ -11,8 +11,9 @@ and which `benchmarks/test_determinism.py` checks.
 import heapq
 
 from repro import memmap
-from repro.isa.semantics import LOAD_WIDTH, STORE_WIDTH, load_value
+from repro.isa.semantics import load_value
 from repro.machine.core import Core
+from repro.machine.lowered import LoweredInstr, lower_program
 from repro.machine.memory import Bank
 from repro.machine.params import Params
 from repro.machine.router import (
@@ -41,9 +42,14 @@ class LBP:
         self.params = params or Params()
         self.stats = MachineStats(self.params.num_cores, self.params.harts_per_core)
         self.trace = trace or Trace(self.params.trace_enabled)
+        #: number of cores whose ``active`` gating flag is set; kept in
+        #: lockstep with the flags by Core.activate and the run loop
+        self._num_active = 0
         self.cores = [Core(i, self) for i in range(self.params.num_cores)]
         self.links = LinkScheduler(self.params.link_hop_latency)
         self.code = {}
+        #: {pc: LoweredInstr} built at load time (machine/lowered.py)
+        self.lowered = {}
         self.code_bank = Bank(memmap.CODE_BASE, memmap.CODE_SIZE, "code")
         self.mmio = {}
         self.cycle = 0
@@ -61,6 +67,7 @@ class LBP:
         """Load a :class:`~repro.asm.program.Program` and start hart 0."""
         self.program = program
         self.code = program.instructions
+        self.lowered = lower_program(self.code, self.params)
         for seg in program.code_segments():
             self.code_bank.load_image(seg.base - memmap.CODE_BASE, seg.data)
         for seg in program.data_segments():
@@ -112,16 +119,17 @@ class LBP:
             self._error = "cycle %d: %s" % (self.cycle, message)
 
     def fetch_instruction(self, pc, hart):
-        ins = self.code.get(pc)
-        if ins is None:
+        low = self.lowered.get(pc)
+        if low is None:
             self.error(
                 "hart %d fetches from non-code address 0x%x" % (hart.gid, pc)
             )
             from repro.isa.instruction import Instruction
             from repro.isa.spec import INSTR_SPECS
 
-            ins = Instruction("ebreak", spec=INSTR_SPECS["ebreak"])
-        return ins
+            low = LoweredInstr(
+                Instruction("ebreak", spec=INSTR_SPECS["ebreak"]), self.params)
+        return low
 
     def cv_address(self, hart, offset):
         return memmap.hart_cv_base(hart.index) + offset
@@ -157,12 +165,12 @@ class LBP:
         t_back = self.links.reserve_path(reply_path(core.index, owner), t_bank)
         return owner_core.mem.shared, t_bank, t_back + 1, True
 
-    def schedule_load(self, core, hart, tag, ins, addr):
-        width = LOAD_WIDTH[ins.mnemonic]
+    def schedule_load(self, core, hart, entry, low, addr):
+        width = low.width
         bank, t_bank, t_done, remote = self._route_access(core, addr)
-        hart.rb.occupy(tag, ins.rd)
+        hart.rb.occupy(entry.tag, low.rd, entry.rob)
         hart.outstanding_mem += 1
-        mnemonic = ins.mnemonic
+        mnemonic = low.mnemonic
         self.trace.record(
             self.cycle, core.index, hart.index, "mem_load_req",
             "addr 0x%x bank %s" % (addr, bank.name),
@@ -190,11 +198,11 @@ class LBP:
         self.schedule(t_bank, do_read)
         self.schedule(t_done, done)
 
-    def schedule_store(self, core, hart, tag, ins, addr, value):
-        width = STORE_WIDTH[ins.mnemonic]
+    def schedule_store(self, core, hart, entry, low, addr, value):
+        width = low.width
         bank, t_bank, _t_done, remote = self._route_access(core, addr)
         hart.outstanding_mem += 1
-        rob_entry = core._rob_entry(hart, tag)
+        rob_entry = entry.rob
         self.trace.record(
             self.cycle, core.index, hart.index, "mem_store_req",
             "addr 0x%x bank %s" % (addr, bank.name),
@@ -220,7 +228,7 @@ class LBP:
 
     # ---- X_PAR messages -------------------------------------------------------
 
-    def schedule_cv_write(self, core, hart, tag, target_gid, offset, value):
+    def schedule_cv_write(self, core, hart, entry, target_gid, offset, value):
         """p_swcv: write into the allocated hart's CV area (forward link)."""
         target = self.hart_by_gid(target_gid)
         target_core = target.core
@@ -236,7 +244,7 @@ class LBP:
         )
         addr = memmap.hart_cv_base(target.index) + offset
         hart.outstanding_mem += 1
-        rob_entry = core._rob_entry(hart, tag)
+        rob_entry = entry.rob
 
         def do_write():
             target_core.mem.local.write(addr, value, 4)
@@ -249,8 +257,14 @@ class LBP:
 
         self.schedule(t_bank, do_write)
 
-    def schedule_re_send(self, core, hart, tag, target_gid, index, value):
-        """p_swre: send a result backward to a prior hart's result buffer."""
+    def schedule_re_send(self, core, hart, entry, target_gid, index, value):
+        """p_swre: send a result backward to a prior hart's result buffer.
+
+        Flow control: a delivery that finds the slot occupied *parks* in
+        the target hart's per-slot waiter queue and is re-scheduled when
+        the consumer drains the slot (:meth:`wake_re_waiters`) — instead
+        of the former busy-retry that re-enqueued itself every cycle.
+        """
         target = self.hart_by_gid(target_gid)
         if target.core.index > core.index:
             self.error(
@@ -260,12 +274,18 @@ class LBP:
             return
         links = backward_links(core.index, target.core.index)
         t_arrive = self.links.reserve_path(links, self.cycle) + 1
-        rob_entry = core._rob_entry(hart, tag)
+        rob_entry = entry.rob
         slot = index % len(target.re_buffers)
 
-        def deliver():
+        def deliver(parked=False):
             if target.re_buffers[slot] is not None:
-                self.schedule(self.cycle + 1, deliver)  # flow control: retry
+                waiters = target.re_waiters[slot]
+                if parked:
+                    # a fresh arrival won the drained slot first: keep
+                    # this delivery at the head (it is the oldest)
+                    waiters.insert(0, deliver)
+                else:
+                    waiters.append(deliver)
                 return
             target.re_buffers[slot] = value & 0xFFFFFFFF
             rob_entry.done = True
@@ -276,6 +296,22 @@ class LBP:
             )
 
         self.schedule(t_arrive, deliver)
+
+    def wake_re_waiters(self, target, slot=None):
+        """Re-schedule the oldest parked p_swre delivery for a drained slot.
+
+        Called by the consumer side (p_lwre execute) with the drained
+        *slot*, and on hart re-allocation (reserve_for_fork resets every
+        slot) with ``slot=None``.  The woken delivery runs in the next
+        cycle's event phase — the same cycle the old busy-retry would
+        have succeeded on.
+        """
+        slots = range(len(target.re_waiters)) if slot is None else (slot,)
+        for index in slots:
+            waiters = target.re_waiters[index]
+            if waiters:
+                deliver = waiters.pop(0)
+                self.schedule(self.cycle + 1, lambda fn=deliver: fn(parked=True))
 
     def send_start_pc(self, core, hart, target_gid, pc):
         """p_jal/p_jalr: start the allocated hart at *pc* (forward link)."""
@@ -352,37 +388,55 @@ class LBP:
         limit = max_cycles if max_cycles is not None else self.params.max_cycles
         events = self._events
         cores = self.cores
+        num_cores = len(cores)
+        stats = self.stats
+        heappop = heapq.heappop
         progress_mark = (0, 0)
         next_progress_check = 4096
+        cycle = self.cycle
         while not self.halted:
-            if self.cycle >= next_progress_check:
-                snapshot = (self.stats.retired, self._seq)
+            if cycle >= next_progress_check:
+                snapshot = (stats.retired, self._seq)
                 if snapshot == progress_mark and not events:
                     raise DeadlockError(self._deadlock_dump())
                 progress_mark = snapshot
-                next_progress_check = self.cycle + 4096
-            if self.cycle > limit:
+                next_progress_check = cycle + 4096
+            if cycle > limit:
                 raise MachineError(
                     "cycle limit exceeded (%d); likely livelock" % limit
                 )
-            while events and events[0][0] <= self.cycle:
-                heapq.heappop(events)[2]()
+            while events and events[0][0] <= cycle:
+                heappop(events)[2]()
             if self.halted:
                 break
+            # active-core gating: only cores with runnable pipeline work
+            # tick; wakeups (Hart.start) re-set the flag, and iteration
+            # stays in fixed core-index order so arbitration, event seqs
+            # and traces are identical to the ungated loop.
+            ticked = self._num_active
             for core in cores:
-                core.tick()
+                if core.active:
+                    if not core.tick():
+                        core.active = False
+                        self._num_active -= 1
+            stats.skipped_core_cycles += num_cores - ticked
             if self._error is not None:
                 raise MachineError(self._error)
             if self.halted:
                 break
-            self.cycle += 1
-            if not any(core.any_activity_possible() for core in cores):
+            cycle += 1
+            if self._num_active == 0:
+                # every core is quiescent: fast-forward to the next event
+                # (in-flight memory/protocol traffic), or report deadlock
                 if events:
                     next_cycle = events[0][0]
-                    if next_cycle > self.cycle:
-                        self.cycle = next_cycle
+                    if next_cycle > cycle:
+                        stats.skipped_core_cycles += (
+                            (next_cycle - cycle) * num_cores)
+                        cycle = next_cycle
                 else:
                     raise DeadlockError(self._deadlock_dump())
+            self.cycle = cycle
         self.stats.cycles = max(self.stats.cycles, self.cycle)
         return self.stats
 

@@ -32,6 +32,9 @@ class MachineStats:
         self.forks = 0
         self.joins = 0
         self.re_messages = 0
+        #: core-cycles the run loop did not tick thanks to active-core
+        #: gating (idle cores awaiting a wakeup, plus all-idle jumps)
+        self.skipped_core_cycles = 0
 
     @property
     def retired(self):
@@ -60,4 +63,5 @@ class MachineStats:
             "remote_accesses": self.remote_accesses,
             "forks": self.forks,
             "joins": self.joins,
+            "skipped_core_cycles": self.skipped_core_cycles,
         }

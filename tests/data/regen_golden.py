@@ -1,0 +1,28 @@
+"""Regenerate tests/data/golden_traces.json.
+
+Run only when an *intentional* machine-model change invalidates the
+recorded references (the point of the file is to catch unintentional
+ones):
+
+    PYTHONPATH=src:tests:tests/integration python tests/data/regen_golden.py
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "integration"))
+
+from test_trace_golden import GOLDEN_PATH, WORKLOADS, measure  # noqa: E402
+
+
+def main():
+    golden = {name: measure(name) for name in sorted(WORKLOADS)}
+    with open(os.path.abspath(GOLDEN_PATH), "w") as handle:
+        json.dump(golden, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(golden, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

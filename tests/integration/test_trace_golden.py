@@ -1,0 +1,148 @@
+"""Golden trace-equality regression for the cycle-accurate simulator.
+
+The hot-path work (active-core gating, pre-lowered decode, the re-send
+wakeup) must be *bit-exact*: the same programs produce the same cycle
+counts and the same full event traces as the pre-optimisation simulator.
+``tests/data/golden_traces.json`` records reference digests captured from
+the original all-cores-every-cycle implementation; these tests re-run the
+workloads and compare.
+
+Regenerate (only when an intentional model change invalidates them) with
+``PYTHONPATH=src:tests python tests/data/regen_golden.py``.
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.asm import assemble
+from repro.compiler import compile_to_program
+from repro.machine import LBP, Params
+from repro.workloads.matmul import matmul_source, verify_matmul
+from repro.workloads.setget import setget_source, verify_setget
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "data", "golden_traces.json")
+
+#: one producer floods result-buffer slot 0 of hart 0 while the consumer
+#: drains it slowly — the second and third p_swre find the slot occupied
+#: and sit in the flow-control queue (formerly: the every-cycle retry).
+RE_CONTENTION = """
+main:
+    li   t0, -1
+    addi sp, sp, -8
+    sw   ra, 0(sp)
+    sw   t0, 4(sp)
+    p_set t0, t0
+    p_fc t6
+    la   t1, rp
+    p_swcv t6, t1, 0
+    p_swcv t6, t0, 4
+    p_merge t0, t0, t6
+    p_syncm
+    la   a0, consumer
+    p_jalr ra, t0, a0
+    # ---- producer hart: three back-to-back sends into slot 0 ----
+    p_lwcv ra, 0
+    p_lwcv t0, 4
+    li   t4, 0
+    li   t3, 111
+    p_swre t4, t3, 0
+    li   t3, 222
+    p_swre t4, t3, 0
+    li   t3, 333
+    p_swre t4, t3, 0
+    p_ret
+rp: lw  ra, 0(sp)
+    lw  t0, 4(sp)
+    addi sp, sp, 8
+    p_ret
+consumer:
+    li   t5, 60
+d1: addi t5, t5, -1
+    bnez t5, d1
+    p_lwre t1, 0
+    li   t5, 60
+d2: addi t5, t5, -1
+    bnez t5, d2
+    p_lwre t2, 0
+    p_lwre t3, 0
+    add  t1, t1, t2
+    add  t1, t1, t3
+    la   t2, got
+    sw   t1, 0(t2)
+    p_ret
+.data
+got: .word 0
+"""
+
+
+def trace_digest(events):
+    h = hashlib.sha256()
+    for event in events:
+        h.update(repr(event).encode())
+    return h.hexdigest()
+
+
+def _run_traced(program, cores):
+    machine = LBP(Params(num_cores=cores, trace_enabled=True)).load(program)
+    stats = machine.run(max_cycles=50_000_000)
+    return machine, stats
+
+
+def run_matmul_workload(version):
+    program = compile_to_program(matmul_source(version, 16), "mm.c")
+    machine, stats = _run_traced(program, 4)
+    verify_matmul(machine, program, version, 16)
+    return machine, stats
+
+
+def run_setget_workload():
+    program = compile_to_program(setget_source(16, 64), "setget.c")
+    machine, stats = _run_traced(program, 4)
+    verify_setget(machine, 16, 64)
+    return machine, stats
+
+
+def run_re_contention_workload():
+    program = assemble(RE_CONTENTION)
+    machine, stats = _run_traced(program, 1)
+    assert machine.read_word(program.symbol("got")) == 111 + 222 + 333
+    return machine, stats
+
+
+WORKLOADS = {
+    "matmul_base_h16_c4": lambda: run_matmul_workload("base"),
+    "matmul_tiled_h16_c4": lambda: run_matmul_workload("tiled"),
+    "setget_h16_chunk64_c4": run_setget_workload,
+    "re_contention_c1": run_re_contention_workload,
+}
+
+
+def measure(name):
+    machine, stats = WORKLOADS[name]()
+    return {
+        "cycles": stats.cycles,
+        "retired": stats.retired,
+        "events": len(machine.trace.events),
+        "trace_sha256": trace_digest(machine.trace.events),
+        "local": stats.local_accesses,
+        "remote": stats.remote_accesses,
+        "forks": stats.forks,
+        "joins": stats.joins,
+        "re_messages": stats.re_messages,
+    }
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_trace_matches_golden_reference(name, golden):
+    assert name in golden, "no golden reference for %s; run regen_golden.py" % name
+    assert measure(name) == golden[name]

@@ -31,6 +31,40 @@ def test_windowed_port_no_penalty_when_idle():
     assert port.reserve(1000) == 1000
 
 
+def test_windowed_port_window_rollover():
+    port = WindowedPort(window=4)
+    # fill window 0 (cycles 0..3) to its capacity of 4
+    assert [port.reserve(0) for _ in range(4)] == [0, 0, 0, 0]
+    # a request *inside* the full window rolls over to window 1 and is
+    # pushed to that window's start, never earlier
+    assert port.reserve(2) == 4
+    # a request already in window 1 keeps its own (later) earliest time
+    assert port.reserve(6) == 6
+
+
+def test_windowed_port_over_capacity_spill_chain():
+    port = WindowedPort(window=4)
+    slots = [port.reserve(0) for _ in range(10)]
+    # exact spill pattern: 4 in window 0, 4 in window 1, the rest in 2
+    assert slots == [0, 0, 0, 0, 4, 4, 4, 4, 8, 8]
+    # bookkeeping matches: windows 0 and 1 full, window 2 holds two
+    assert port.used == {0: 4, 1: 4, 2: 2}
+
+
+def test_windowed_port_earliest_far_past_cursor():
+    port = WindowedPort(window=4)
+    # dense early traffic must not delay a request far in the future...
+    for _ in range(12):
+        port.reserve(0)
+    assert port.reserve(1000) == 1000
+    # ...and the far window has its own independent capacity
+    for _ in range(3):
+        port.reserve(1000)
+    assert port.reserve(1000) == 1004  # window 250 full -> start of 251
+    # a laggard can still come back and use the untouched window 3
+    assert port.reserve(12) == 12
+
+
 def _simple(source, cores=1):
     program = assemble(source)
     machine = FastLBP(Params(num_cores=cores)).load(program)

@@ -1,0 +1,77 @@
+"""Parallel experiment runner: deterministic fan-out and merge.
+
+The contract under test: ``run_experiments`` merges results in *task
+order* (never completion order), so a parallel run is byte-identical to
+the sequential path — the acceptance bar for using it in the
+determinism and ablation benchmarks.
+"""
+
+import pickle
+
+import pytest
+
+from repro.eval.runner import default_jobs, run_experiments
+
+
+def _square(x):
+    return x * x
+
+
+def _row(version, scale):
+    # shaped like an eval result row; nested structure exercises pickling
+    return {"version": version, "scale": scale,
+            "cycles": 1000 * scale + len(version),
+            "trace": [(0, version), (1, version)]}
+
+
+def _simulate_small():
+    from repro.asm import assemble
+    from repro.machine import LBP, Params
+
+    program = assemble("""
+main:
+    li   t1, 20
+loop:
+    addi t1, t1, -1
+    bnez t1, loop
+    ebreak
+""")
+    machine = LBP(Params(num_cores=2)).load(program)
+    stats = machine.run(max_cycles=100_000)
+    return stats.cycles, stats.retired, stats.skipped_core_cycles
+
+
+TASKS = (
+    [("sq/%d" % n, _square, (n,)) for n in range(6)]
+    + [("row/%s" % v, _row, (v,), {"scale": 2}) for v in ("base", "tiled")]
+    + [("sim", _simulate_small)]
+)
+
+
+def test_sequential_and_parallel_merge_byte_identical():
+    sequential = run_experiments(TASKS, jobs=1)
+    parallel = run_experiments(TASKS, jobs=2)
+    assert pickle.dumps(sequential) == pickle.dumps(parallel)
+    # insertion order is the task order, not completion order
+    assert list(parallel) == [key for key, *_ in TASKS]
+
+
+def test_results_are_correct():
+    results = run_experiments(TASKS, jobs=2)
+    assert results["sq/5"] == 25
+    assert results["row/base"]["cycles"] == 2004
+    cycles, retired, skipped = results["sim"]
+    assert cycles > 0 and retired > 0 and skipped > 0
+
+
+def test_duplicate_keys_rejected():
+    with pytest.raises(ValueError):
+        run_experiments([("k", _square, (1,)), ("k", _square, (2,))])
+
+
+def test_empty_task_list():
+    assert run_experiments([], jobs=4) == {}
+
+
+def test_default_jobs_positive():
+    assert default_jobs() >= 1
