@@ -7,12 +7,18 @@ Usage (installed as ``python -m repro``):
     python -m repro run prog.c --cores 4         # run, print statistics
     python -m repro run prog.c --sim fast        # fast simulator
     python -m repro run prog.c --trace --trace-limit 50
+    python -m repro run prog.c --trace-kinds mem_store,fork
     python -m repro run prog.c --print total,v:8 # dump globals after the run
     python -m repro run prog.c --profile         # cProfile the simulation
-    python -m repro experiments --h 16 --cores 4 # figure sweep, parallel
+    python -m repro run prog.c --snapshot-every 100000 --snapshot-dir snaps
+    python -m repro run prog.c --stop-at-cycle 5000 --snapshot-out pause.lbpsnap
+    python -m repro run --resume pause.lbpsnap   # continue, bit-exact
+    python -m repro experiments --h 16 --cores 4 # figure sweep, parallel+cached
+    python -m repro cache stats                  # the run cache's footprint
 """
 
 import argparse
+import os
 import sys
 
 from repro.asm import assemble
@@ -20,6 +26,7 @@ from repro.compiler import compile_c
 from repro.fastsim import FastLBP
 from repro.isa.semantics import to_signed
 from repro.machine import LBP, Params
+from repro.machine.trace import Trace
 
 
 def _read_source(path):
@@ -44,28 +51,79 @@ def cmd_disasm(args):
 
 
 def cmd_run(args):
-    program = _build_program(args.source)
-    params = Params(num_cores=args.cores,
-                    trace_enabled=args.trace or args.timeline)
-    machine = FastLBP(params) if args.sim == "fast" else LBP(params)
-    machine.load(program)
+    snapshotting = (args.resume or args.snapshot_every
+                    or args.snapshot_out or args.stop_at_cycle is not None)
+    if snapshotting and args.sim == "fast":
+        print("error: the fast simulator does not support snapshot/resume "
+              "(use --sim cycle)", file=sys.stderr)
+        return 2
+    if args.resume:
+        from repro.snapshot import load_snapshot
+
+        machine = load_snapshot(args.resume)
+        program = machine.program
+    else:
+        if not args.source:
+            print("error: a source file is required unless --resume is given",
+                  file=sys.stderr)
+            return 2
+        program = _build_program(args.source)
+        trace_kinds = None
+        if args.trace_kinds:
+            trace_kinds = [k.strip() for k in args.trace_kinds.split(",")
+                           if k.strip()]
+            args.trace = True  # a kind filter implies printing the trace
+        trace_enabled = bool(args.trace or args.timeline)
+        params = Params(num_cores=args.cores, trace_enabled=trace_enabled)
+        if args.sim == "fast":
+            machine = FastLBP(params)
+        else:
+            machine = LBP(params, trace=Trace(trace_enabled, kinds=trace_kinds))
+        machine.load(program)
+
+    run_kwargs = {"max_cycles": args.max_cycles}
+    if args.stop_at_cycle is not None:
+        run_kwargs["stop_at_cycle"] = args.stop_at_cycle
+    if args.snapshot_every:
+        from repro.snapshot import save_snapshot
+
+        os.makedirs(args.snapshot_dir, exist_ok=True)
+
+        def periodic_snapshot(m):
+            path = os.path.join(
+                args.snapshot_dir, "snap_%010d.lbpsnap" % m.cycle)
+            save_snapshot(m, path)
+            print("snapshot : cycle %d -> %s" % (m.cycle, path))
+
+        run_kwargs["snapshot_every"] = args.snapshot_every
+        run_kwargs["snapshot_callback"] = periodic_snapshot
+
     if args.profile:
         import cProfile
         import pstats
 
         profiler = cProfile.Profile()
         profiler.enable()
-        stats = machine.run(max_cycles=args.max_cycles)
+        stats = machine.run(**run_kwargs)
         profiler.disable()
         print("--- profile (top 20 by cumulative time) ---")
         pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
     else:
-        stats = machine.run(max_cycles=args.max_cycles)
+        stats = machine.run(**run_kwargs)
+
+    if args.snapshot_out:
+        from repro.snapshot import save_snapshot
+
+        size = save_snapshot(machine, args.snapshot_out)
+        print("snapshot : cycle %d -> %s (%d bytes)"
+              % (machine.cycle, args.snapshot_out, size))
+    if args.stop_at_cycle is not None and not getattr(machine, "halted", True):
+        print("paused   : cycle %d (resume with --resume)" % machine.cycle)
 
     print("halt     :", getattr(machine, "halt_reason", "exit"))
     print("cycles   :", stats.cycles)
     print("retired  :", stats.retired)
-    print("IPC      : %.2f (peak %d)" % (stats.ipc, args.cores))
+    print("IPC      : %.2f (peak %d)" % (stats.ipc, machine.params.num_cores))
     print("memory   : %d local, %d remote accesses"
           % (stats.local_accesses, stats.remote_accesses))
     print("teams    : %d forks, %d joins" % (stats.forks, stats.joins))
@@ -95,16 +153,45 @@ def cmd_experiments(args):
     from repro.eval import format_rows, run_experiments, run_matmul_experiment
     from repro.workloads.matmul import MATMUL_VERSIONS
 
+    cache = None
+    if not args.no_cache:
+        from repro.snapshot import RunCache
+
+        cache = RunCache(args.cache_dir)
     tasks = [
         (version, run_matmul_experiment,
          (version, args.h, args.cores, args.scale, args.sim))
         for version in MATMUL_VERSIONS
     ]
-    rows = run_experiments(tasks, jobs=args.jobs)
+    rows = run_experiments(tasks, jobs=args.jobs, cache=cache)
     print(format_rows(
         rows,
         title="matmul figure — h=%d, %d cores, scale=1/%d, %s sim"
               % (args.h, args.cores, args.scale, args.sim)))
+    if cache is not None:
+        print("cache    : %d hit(s), %d miss(es) [%s]"
+              % (cache.hits, cache.misses, cache.root), file=sys.stderr)
+    return 0
+
+
+def cmd_cache(args):
+    from repro.snapshot import RunCache
+
+    cache = RunCache(args.cache_dir)
+    if args.action == "ls":
+        rows = cache.entries()
+        for key, entry_bytes, snap_bytes in rows:
+            print("%s  %8d B entry  %10d B snapshot"
+                  % (key, entry_bytes, snap_bytes))
+        print("%d entr%s in %s" % (len(rows), "y" if len(rows) == 1 else "ies",
+                                   cache.root))
+    elif args.action == "clear":
+        removed = cache.clear()
+        print("removed %d entr%s from %s"
+              % (removed, "y" if removed == 1 else "ies", cache.root))
+    else:  # stats
+        for field, value in cache.stats().items():
+            print("%-15s: %s" % (field, value))
     return 0
 
 
@@ -122,18 +209,35 @@ def main(argv=None):
     p_disasm.set_defaults(func=cmd_disasm)
 
     p_run = sub.add_parser("run", help="simulate a program")
-    p_run.add_argument("source", help=".c (DetC) or .s (assembly) file")
+    p_run.add_argument("source", nargs="?",
+                       help=".c (DetC) or .s (assembly) file "
+                            "(optional with --resume)")
     p_run.add_argument("--cores", type=int, default=4)
     p_run.add_argument("--sim", choices=("cycle", "fast"), default="cycle")
     p_run.add_argument("--max-cycles", type=int, default=200_000_000)
     p_run.add_argument("--trace", action="store_true")
     p_run.add_argument("--trace-limit", type=int, default=100)
+    p_run.add_argument("--trace-kinds", metavar="K1,K2,...",
+                       help="record only these event kinds (implies --trace; "
+                            "e.g. mem_store,fork,join)")
     p_run.add_argument("--timeline", action="store_true",
                        help="render per-hart activity lanes (implies traces)")
     p_run.add_argument("--print", metavar="NAME[:N],...",
                        help="dump globals after the run")
     p_run.add_argument("--profile", action="store_true",
                        help="run under cProfile; print top-20 cumulative")
+    p_run.add_argument("--resume", metavar="SNAPSHOT",
+                       help="restore a snapshot file and continue the run "
+                            "(bit-exact; cycle sim only)")
+    p_run.add_argument("--stop-at-cycle", type=int, metavar="N",
+                       help="pause (without halting) at cycle N; combine "
+                            "with --snapshot-out to checkpoint")
+    p_run.add_argument("--snapshot-out", metavar="PATH",
+                       help="write a snapshot of the final/paused machine")
+    p_run.add_argument("--snapshot-every", type=int, metavar="N",
+                       help="write a periodic snapshot every N cycles")
+    p_run.add_argument("--snapshot-dir", default="snapshots",
+                       help="directory for --snapshot-every files")
     p_run.set_defaults(func=cmd_run)
 
     p_exp = sub.add_parser(
@@ -147,7 +251,20 @@ def main(argv=None):
     p_exp.add_argument("--sim", choices=("cycle", "fast"), default="cycle")
     p_exp.add_argument("--jobs", type=int, default=None,
                        help="worker processes (default: one per CPU)")
+    p_exp.add_argument("--no-cache", action="store_true",
+                       help="always simulate; skip the run cache")
+    p_exp.add_argument("--cache-dir", default=None,
+                       help="run-cache root (default: $LBP_CACHE_DIR or "
+                            "~/.cache/lbp-repro)")
     p_exp.set_defaults(func=cmd_experiments)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the content-addressed run cache")
+    p_cache.add_argument("action", choices=("ls", "clear", "stats"))
+    p_cache.add_argument("--cache-dir", default=None,
+                         help="run-cache root (default: $LBP_CACHE_DIR or "
+                              "~/.cache/lbp-repro)")
+    p_cache.set_defaults(func=cmd_cache)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -18,6 +18,14 @@ through the inherited interpreter state without requiring the modules to
 be importable by path.  Where ``fork`` is unavailable (non-POSIX), the
 runner silently degrades to the sequential path — results are identical
 either way, only the wall clock differs.
+
+Caching: pass a :class:`repro.snapshot.RunCache` (or a cache-root path)
+as ``cache=`` and every task is first looked up by its content key
+(callable identity + arguments + simulator version — determinism makes
+the memoization exact); only the misses are dispatched to workers, and
+their results are stored for the next sweep.  Cached results pass
+through a canonical JSON round-trip on both the hit and the miss path,
+so a warm re-run merges byte-identically to the cold run that filled it.
 """
 
 import multiprocessing
@@ -50,7 +58,25 @@ def _call(task):
     return key, fn(*args, **kwargs)
 
 
-def run_experiments(tasks, jobs=None):
+def _run_all(tasks, jobs):
+    """{key: result} for *tasks*, parallel when possible, input-ordered."""
+    if not tasks:
+        return {}
+    jobs = min(jobs, len(tasks))
+    if jobs <= 1:
+        return {key: fn(*args, **kwargs) for key, fn, args, kwargs in tasks}
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # platform without fork: degrade, stay identical
+        return {key: fn(*args, **kwargs) for key, fn, args, kwargs in tasks}
+    with context.Pool(processes=jobs) as pool:
+        # Pool.map returns in input order — the deterministic merge is
+        # by construction, not by sorting completion events
+        pairs = pool.map(_call, tasks)
+    return dict(pairs)
+
+
+def run_experiments(tasks, jobs=None, cache=None):
     """Run every task; return ``{key: result}`` in task order.
 
     ``jobs=None`` uses :func:`default_jobs`; ``jobs=1`` (or a single
@@ -58,24 +84,40 @@ def run_experiments(tasks, jobs=None):
     by the *input* task order regardless of which worker finishes first,
     so parallel and sequential runs of the same task list merge to
     byte-identical results.
+
+    ``cache`` (a :class:`repro.snapshot.RunCache` or a cache-root path)
+    memoizes task results by content key; unchanged tasks are returned
+    from the store without simulating.  Results that do not survive a
+    JSON round-trip are returned but not cached.
     """
     normalized = _normalize(tasks)
     if jobs is None:
         jobs = default_jobs()
-    jobs = min(jobs, len(normalized)) if normalized else 1
 
-    if jobs <= 1:
-        return {key: fn(*args, **kwargs)
-                for key, fn, args, kwargs in normalized}
+    if cache is None:
+        return _run_all(normalized, jobs)
 
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # platform without fork: degrade, stay identical
-        return {key: fn(*args, **kwargs)
-                for key, fn, args, kwargs in normalized}
+    if isinstance(cache, str):
+        from repro.snapshot.cache import RunCache
 
-    with context.Pool(processes=jobs) as pool:
-        # Pool.map returns in input order — the deterministic merge is
-        # by construction, not by sorting completion events
-        pairs = pool.map(_call, normalized)
-    return dict(pairs)
+        cache = RunCache(cache)
+
+    task_keys = {key: cache.task_key(fn, args, kwargs)
+                 for key, fn, args, kwargs in normalized}
+    cached = {}
+    pending = []
+    for task in normalized:
+        entry = cache.get(task_keys[task[0]])
+        if entry is not None:
+            cached[task[0]] = entry["value"]
+        else:
+            pending.append(task)
+
+    fresh = _run_all(pending, jobs)
+    for key, result in fresh.items():
+        canonical = cache.put(task_keys[key], result)
+        if canonical is not None:
+            fresh[key] = canonical
+
+    return {key: cached[key] if key in cached else fresh[key]
+            for key, _fn, _args, _kwargs in normalized}

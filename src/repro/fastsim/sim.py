@@ -127,6 +127,24 @@ class FastLBP:
         self._seq = 0
         self.program = None
 
+    # ---- snapshot parity -------------------------------------------------------
+
+    def state_dict(self):
+        """Fast-sim snapshots are unsupported — fail loudly, not subtly.
+
+        The quantum scheduler interleaves harts at coarse granularity and
+        parks closures in its heap; serializing that mid-quantum state
+        cannot reproduce the exact interleave on restore.  Snapshot the
+        cycle-accurate :class:`repro.machine.LBP` instead.
+        """
+        raise NotImplementedError(
+            "FastLBP does not support snapshot/restore: mid-quantum "
+            "scheduler state is not serializable; use the cycle-accurate "
+            "LBP simulator (repro.snapshot.snapshot refuses FastLBP too)"
+        )
+
+    load_state_dict = state_dict
+
     # ---- loading ---------------------------------------------------------------
 
     def load(self, program, start=True):

@@ -88,6 +88,25 @@ class Core:
             self.active = True
             self.machine._num_active += 1
 
+    # ---- snapshot/restore --------------------------------------------------
+
+    def state_dict(self):
+        return {
+            "active": self.active,
+            "rr": [self._rr_fetch, self._rr_rename, self._rr_issue,
+                   self._rr_wb, self._rr_commit],
+            "mem": self.mem.state_dict(),
+            "harts": [hart.state_dict() for hart in self.harts],
+        }
+
+    def load_state_dict(self, state):
+        self.active = state["active"]
+        (self._rr_fetch, self._rr_rename, self._rr_issue,
+         self._rr_wb, self._rr_commit) = state["rr"]
+        self.mem.load_state_dict(state["mem"])
+        for hart, hart_state in zip(self.harts, state["harts"]):
+            hart.load_state_dict(hart_state)
+
     # ---- hart selection ----------------------------------------------------
 
     def alloc_free_hart(self):
@@ -452,7 +471,7 @@ class Core:
                         vals.append(None)
                         waits.append(producer)
 
-            rob_entry = ROBEntry(tag, low)
+            rob_entry = ROBEntry(tag, low, pc)
             hart.it.append(ITEntry(tag, low, pc, vals, waits, rob_entry))
             hart.rob.append(rob_entry)
             if low.writes:

@@ -43,11 +43,13 @@ class ITEntry:
 class ROBEntry:
     """One reorder-buffer slot."""
 
-    __slots__ = ("tag", "low", "done", "ret_action")
+    __slots__ = ("tag", "low", "pc", "done", "ret_action")
 
-    def __init__(self, tag, low):
+    def __init__(self, tag, low, pc=None):
         self.tag = tag
         self.low = low
+        #: program location (lets snapshot/restore re-bind ``low``)
+        self.pc = pc
         self.done = False
         #: for p_ret: ("exit"|"wait"|"end"|"join", join_hart, join_addr)
         self.ret_action = None
@@ -186,6 +188,109 @@ class Hart:
         self.syncm_block = False
         self.reserved = False
         self.waiting_join = False
+
+    # ---- snapshot/restore --------------------------------------------------
+
+    def state_dict(self):
+        """All architectural and microarchitectural state, as plain data.
+
+        Entry identity: an ITEntry and its paired ROBEntry share a tag,
+        and the writeback buffer names its producer by the same tag, so
+        cross-references are serialized as tags and re-linked by
+        :meth:`load_state_dict`.  ``low`` fields are re-derived from the
+        machine's lowered program via each entry's pc.
+        """
+        rb = self.rb
+        return {
+            "regs": list(self.regs),
+            "rename": list(self.rename),
+            "pc": self.pc,
+            "awaiting_nextpc": self.awaiting_nextpc,
+            "fetch_ready_at": self.fetch_ready_at,
+            "syncm_block": self.syncm_block,
+            "fetch_buf": None if self.fetch_buf is None else self.fetch_buf[0],
+            "it": [
+                {
+                    "tag": e.tag, "pc": e.pc, "vals": list(e.vals),
+                    "waits": list(e.waits), "issued": e.issued,
+                }
+                for e in self.it
+            ],
+            "rob": [
+                {
+                    "tag": e.tag, "pc": e.pc, "done": e.done,
+                    "ret_action": None if e.ret_action is None
+                    else list(e.ret_action),
+                }
+                for e in self.rob
+            ],
+            "rb": {
+                "busy": rb.busy, "tag": rb.tag, "reg": rb.reg,
+                "value": rb.value, "ready_at": rb.ready_at,
+            },
+            "re_buffers": list(self.re_buffers),
+            "re_waiters": [
+                [list(desc) for desc in waiters] for waiters in self.re_waiters
+            ],
+            "outstanding_mem": self.outstanding_mem,
+            "reserved": self.reserved,
+            "waiting_join": self.waiting_join,
+            "pending_join": self.pending_join,
+            "pred": None if self.pred is None else self.pred.gid,
+            "pred_done": self.pred_done,
+            "succ": None if self.succ is None else self.succ.gid,
+        }
+
+    def load_state_dict(self, state):
+        machine = self.core.machine
+        lowered = machine.lowered
+        self.regs = list(state["regs"])
+        self.rename = list(state["rename"])
+        self.pc = state["pc"]
+        self.awaiting_nextpc = state["awaiting_nextpc"]
+        self.fetch_ready_at = state["fetch_ready_at"]
+        self.syncm_block = state["syncm_block"]
+        fetch_pc = state["fetch_buf"]
+        self.fetch_buf = None if fetch_pc is None else (fetch_pc, lowered[fetch_pc])
+        self.rob = []
+        rob_by_tag = {}
+        for entry_state in state["rob"]:
+            rob_entry = ROBEntry(
+                entry_state["tag"], lowered[entry_state["pc"]], entry_state["pc"])
+            rob_entry.done = entry_state["done"]
+            if entry_state["ret_action"] is not None:
+                rob_entry.ret_action = tuple(entry_state["ret_action"])
+            self.rob.append(rob_entry)
+            rob_by_tag[rob_entry.tag] = rob_entry
+        self.it = []
+        for entry_state in state["it"]:
+            entry = ITEntry(
+                entry_state["tag"], lowered[entry_state["pc"]],
+                entry_state["pc"], list(entry_state["vals"]),
+                list(entry_state["waits"]), rob_by_tag[entry_state["tag"]])
+            entry.issued = entry_state["issued"]
+            self.it.append(entry)
+        rb_state = state["rb"]
+        rb = self.rb
+        rb.busy = rb_state["busy"]
+        rb.tag = rb_state["tag"]
+        rb.reg = rb_state["reg"]
+        rb.value = rb_state["value"]
+        rb.ready_at = rb_state["ready_at"]
+        rb.rob = rob_by_tag[rb.tag] if rb.busy else None
+        self.re_buffers = list(state["re_buffers"])
+        self.re_waiters = [
+            [tuple(desc) for desc in waiters] for waiters in state["re_waiters"]
+        ]
+        self.outstanding_mem = state["outstanding_mem"]
+        self.reserved = state["reserved"]
+        self.waiting_join = state["waiting_join"]
+        self.pending_join = state["pending_join"]
+        self.pred = (
+            None if state["pred"] is None else machine.hart_by_gid(state["pred"]))
+        self.pred_done = state["pred_done"]
+        self.succ = (
+            None if state["succ"] is None else machine.hart_by_gid(state["succ"]))
 
     # ---- rename-side helpers ----------------------------------------------
 

@@ -46,6 +46,17 @@ class Bank:
             raise IndexError("image does not fit in bank %s" % self.name)
         self.data[offset : offset + len(payload)] = payload
 
+    def state_dict(self):
+        return {"name": self.name, "base": self.base, "data": bytes(self.data)}
+
+    def load_state_dict(self, state):
+        if len(state["data"]) != len(self.data):
+            raise ValueError(
+                "bank %s snapshot size %d != configured size %d"
+                % (self.name, len(state["data"]), len(self.data))
+            )
+        self.data[:] = state["data"]
+
 
 class Port:
     """A one-access-per-cycle reservation cursor."""
@@ -60,6 +71,12 @@ class Port:
         slot = max(earliest, self.next_free)
         self.next_free = slot + 1
         return slot
+
+    def state_dict(self):
+        return {"next_free": self.next_free}
+
+    def load_state_dict(self, state):
+        self.next_free = state["next_free"]
 
 
 class CoreMemory:
@@ -79,3 +96,19 @@ class CoreMemory:
         self.shared_local_port = Port()
         #: router-side port into the shared bank
         self.shared_router_port = Port()
+
+    def state_dict(self):
+        return {
+            "local": self.local.state_dict(),
+            "shared": self.shared.state_dict(),
+            "local_port": self.local_port.state_dict(),
+            "shared_local_port": self.shared_local_port.state_dict(),
+            "shared_router_port": self.shared_router_port.state_dict(),
+        }
+
+    def load_state_dict(self, state):
+        self.local.load_state_dict(state["local"])
+        self.shared.load_state_dict(state["shared"])
+        self.local_port.load_state_dict(state["local_port"])
+        self.shared_local_port.load_state_dict(state["shared_local_port"])
+        self.shared_router_port.load_state_dict(state["shared_router_port"])

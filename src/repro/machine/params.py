@@ -68,9 +68,9 @@ class Params:
             return self.div_latency
         return self.alu_latency
 
-    def copy(self, **overrides):
-        """A copy of these params with some values replaced."""
-        fields = dict(
+    def state_dict(self):
+        """All knob values as a plain dict (snapshot / cache-key input)."""
+        return dict(
             num_cores=self.num_cores,
             harts_per_core=self.harts_per_core,
             rob_size=self.rob_size,
@@ -85,5 +85,13 @@ class Params:
             trace_enabled=self.trace_enabled,
             max_cycles=self.max_cycles,
         )
+
+    @classmethod
+    def from_state_dict(cls, state):
+        return cls(**state)
+
+    def copy(self, **overrides):
+        """A copy of these params with some values replaced."""
+        fields = self.state_dict()
         fields.update(overrides)
         return Params(**fields)

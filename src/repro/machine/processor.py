@@ -35,13 +35,172 @@ class DeadlockError(MachineError):
     """No hart can make progress and no event is pending."""
 
 
+# ---- scheduled-event handlers ------------------------------------------------
+#
+# The event queue holds (cycle, seq, kind, args) tuples — *no closures* —
+# so that in-flight events survive snapshot/restore (repro.snapshot): the
+# args of every kind are plain ints/strings/tuples and each handler below
+# re-resolves the objects it touches from those.  Handlers run with the
+# machine as first argument when their cycle is reached.
+
+
+def _normalize_args(args):
+    """Event args after a JSON round-trip: lists back to tuples."""
+    return tuple(tuple(a) if isinstance(a, list) else a for a in args)
+
+
+def _resolve_bank(machine, bank_ref):
+    """The Bank named by a ('local'|'shared'|'code', core) reference."""
+    kind, index = bank_ref
+    if kind == "code":
+        return machine.code_bank
+    mem = machine.cores[index].mem
+    return mem.local if kind == "local" else mem.shared
+
+
+def _rob_by_tag(hart, tag):
+    for rob_entry in hart.rob:
+        if rob_entry.tag == tag:
+            return rob_entry
+    raise AssertionError("tag %d not in ROB of hart %d" % (tag, hart.gid))
+
+
+def _ev_load_read(machine, bank_ref, addr, width, mnemonic, t_done,
+                  core_index, hart_gid):
+    """Bank-side read of an in-flight load; fills the hart's result buffer."""
+    hart = machine.hart_by_gid(hart_gid)
+    device = machine.mmio.get(addr)
+    if device is not None:
+        raw = device.read(machine.cycle) & 0xFFFFFFFF
+    else:
+        try:
+            raw = _resolve_bank(machine, bank_ref).read(addr, width)
+        except IndexError as exc:
+            machine.error(str(exc))
+            raw = 0
+    hart.rb.fill(load_value(mnemonic, raw), t_done)
+    machine.trace.record(
+        machine.cycle, core_index, hart.index, "mem_load",
+        "addr 0x%x -> 0x%x" % (addr, hart.rb.value),
+    )
+
+
+def _ev_load_done(machine, hart_gid):
+    machine.hart_by_gid(hart_gid).outstanding_mem -= 1
+
+
+def _ev_store_write(machine, bank_ref, addr, value, width,
+                    core_index, hart_gid, tag):
+    hart = machine.hart_by_gid(hart_gid)
+    device = machine.mmio.get(addr)
+    if device is not None:
+        device.write(machine.cycle, value & 0xFFFFFFFF)
+    else:
+        try:
+            _resolve_bank(machine, bank_ref).write(addr, value, width)
+        except IndexError as exc:
+            machine.error(str(exc))
+    hart.outstanding_mem -= 1
+    _rob_by_tag(hart, tag).done = True
+    machine.trace.record(
+        machine.cycle, core_index, hart.index, "mem_store",
+        "addr 0x%x <- 0x%x" % (addr, value & 0xFFFFFFFF),
+    )
+
+
+def _ev_cv_write(machine, target_core_index, addr, value,
+                 core_index, hart_gid, target_gid, offset, tag):
+    machine.cores[target_core_index].mem.local.write(addr, value, 4)
+    hart = machine.hart_by_gid(hart_gid)
+    hart.outstanding_mem -= 1
+    _rob_by_tag(hart, tag).done = True
+    machine.trace.record(
+        machine.cycle, core_index, hart.index, "cv_write",
+        "hart %d off %d <- 0x%x" % (target_gid, offset, value & 0xFFFFFFFF),
+    )
+
+
+def _ev_re_deliver(machine, core_index, hart_gid, target_gid, slot, value,
+                   tag, parked):
+    """p_swre arrival at the target's result buffer (see schedule_re_send)."""
+    target = machine.hart_by_gid(target_gid)
+    if target.re_buffers[slot] is not None:
+        desc = (core_index, hart_gid, target_gid, slot, value, tag)
+        waiters = target.re_waiters[slot]
+        if parked:
+            # a fresh arrival won the drained slot first: keep this
+            # delivery at the head (it is the oldest)
+            waiters.insert(0, desc)
+        else:
+            waiters.append(desc)
+        return
+    target.re_buffers[slot] = value & 0xFFFFFFFF
+    hart = machine.hart_by_gid(hart_gid)
+    _rob_by_tag(hart, tag).done = True
+    machine.stats.re_messages += 1
+    machine.trace.record(
+        machine.cycle, core_index, hart.index, "re_send",
+        "hart %d buf %d <- 0x%x" % (target_gid, slot, value & 0xFFFFFFFF),
+    )
+
+
+def _ev_start_pc(machine, target_gid, pc):
+    target = machine.hart_by_gid(target_gid)
+    if not target.reserved:
+        machine.error(
+            "start pc sent to hart %d which was not allocated" % target_gid
+        )
+        return
+    target.start(pc, machine.cycle)
+    machine.trace.record(
+        machine.cycle, target.core.index, target.index, "start",
+        "pc 0x%x" % pc,
+    )
+
+
+def _ev_ending_signal(machine, core_index, hart_index, succ_gid):
+    machine.hart_by_gid(succ_gid).pred_done = True
+    machine.trace.record(
+        machine.cycle, core_index, hart_index, "ending_signal",
+        "to hart %d" % succ_gid,
+    )
+
+
+def _ev_join(machine, target_gid, addr):
+    target = machine.hart_by_gid(target_gid)
+    machine.trace.record(
+        machine.cycle, target.core.index, target.index, "join",
+        "resume 0x%x" % addr,
+    )
+    if target.waiting_join:
+        target.start(addr, machine.cycle)
+    else:
+        target.pending_join = addr
+
+
+#: event kind -> handler; the kinds (and their arg tuples) are the on-disk
+#: vocabulary of the snapshot format — extend, never repurpose
+EVENT_HANDLERS = {
+    "load_read": _ev_load_read,
+    "load_done": _ev_load_done,
+    "store_write": _ev_store_write,
+    "cv_write": _ev_cv_write,
+    "re_deliver": _ev_re_deliver,
+    "start_pc": _ev_start_pc,
+    "ending_signal": _ev_ending_signal,
+    "join": _ev_join,
+}
+
+
 class LBP:
     """One simulated LBP processor instance."""
 
     def __init__(self, params=None, trace=None):
         self.params = params or Params()
         self.stats = MachineStats(self.params.num_cores, self.params.harts_per_core)
-        self.trace = trace or Trace(self.params.trace_enabled)
+        # explicit None test: an empty Trace is falsy (len() == 0)
+        self.trace = trace if trace is not None else Trace(
+            self.params.trace_enabled)
         #: number of cores whose ``active`` gating flag is set; kept in
         #: lockstep with the flags by Core.activate and the run loop
         self._num_active = 0
@@ -88,6 +247,58 @@ class LBP:
         """Map a device at global address *addr* (word-granular MMIO)."""
         self.mmio[addr] = device
 
+    # ---- snapshot/restore ----------------------------------------------------
+
+    def state_dict(self):
+        """Complete machine state as plain data (see repro.snapshot).
+
+        Excludes the program image inputs (code/lowered are rebuilt by
+        :meth:`load`) and MMIO devices (externally attached; the snapshot
+        layer refuses machines with devices).
+        """
+        return {
+            "cycle": self.cycle,
+            "halted": self.halted,
+            "halt_reason": self.halt_reason,
+            "seq": self._seq,
+            "tag": self._tag,
+            "error": self._error,
+            "events": [
+                [cycle, seq, kind, list(args)]
+                for cycle, seq, kind, args in sorted(self._events)
+            ],
+            "code_bank": self.code_bank.state_dict(),
+            "links": self.links.state_dict(),
+            "stats": self.stats.state_dict(),
+            "trace": self.trace.state_dict(),
+            "cores": [core.state_dict() for core in self.cores],
+        }
+
+    def load_state_dict(self, state):
+        """Restore :meth:`state_dict` state onto a machine that has the
+        same params and the same program already loaded (start=False)."""
+        self.cycle = state["cycle"]
+        self.halted = state["halted"]
+        self.halt_reason = state["halt_reason"]
+        self._seq = state["seq"]
+        self._tag = state["tag"]
+        self._error = state["error"]
+        self._events = [
+            (cycle, seq, kind, _normalize_args(args))
+            for cycle, seq, kind, args in state["events"]
+        ]
+        heapq.heapify(self._events)
+        for cycle, seq, kind, args in self._events:
+            if kind not in EVENT_HANDLERS:
+                raise ValueError("unknown event kind %r in snapshot" % (kind,))
+        self.code_bank.load_state_dict(state["code_bank"])
+        self.links.load_state_dict(state["links"])
+        self.stats.load_state_dict(state["stats"])
+        self.trace.load_state_dict(state["trace"])
+        for core, core_state in zip(self.cores, state["cores"]):
+            core.load_state_dict(core_state)
+        self._num_active = sum(1 for core in self.cores if core.active)
+
     # ---- small services used by cores ---------------------------------------
 
     def next_tag(self):
@@ -105,9 +316,10 @@ class LBP:
             return self.cores[0].harts[0]
         return self.cores[core_index].harts[hart_index]
 
-    def schedule(self, cycle, fn):
+    def schedule(self, cycle, kind, args):
+        """Enqueue event *kind* (see EVENT_HANDLERS) with serializable *args*."""
         self._seq += 1
-        heapq.heappush(self._events, (cycle, self._seq, fn))
+        heapq.heappush(self._events, (cycle, self._seq, kind, args))
 
     def halt(self, reason):
         self.halted = True
@@ -137,15 +349,19 @@ class LBP:
     # ---- memory accesses -----------------------------------------------------
 
     def _route_access(self, core, addr):
-        """(bank, t_bank, reply_start→t_done fn, remote) for one access."""
+        """(bank, bank_ref, t_bank, t_done, remote) for one access.
+
+        *bank_ref* is the serializable ('local'|'shared'|'code', core)
+        name of the bank, used by the event-queue handlers.
+        """
         now = self.cycle
         params = self.params
         if memmap.is_local(addr):
             port = core.mem.local_port
             t_bank = port.reserve(now + params.local_mem_latency)
-            return core.mem.local, t_bank, t_bank + 1, False
+            return core.mem.local, ("local", core.index), t_bank, t_bank + 1, False
         if memmap.is_code(addr):
-            return self.code_bank, now + params.local_mem_latency, \
+            return self.code_bank, ("code", 0), now + params.local_mem_latency, \
                 now + params.local_mem_latency + 1, False
         owner = memmap.owner_core_of(addr, params.num_cores)
         if owner is None:
@@ -155,7 +371,7 @@ class LBP:
             port = core.mem.shared_local_port
             t_bank = port.reserve(now + params.local_mem_latency)
             self.stats.local_accesses += 1
-            return core.mem.shared, t_bank, t_bank + 1, False
+            return core.mem.shared, ("shared", owner), t_bank, t_bank + 1, False
         self.stats.remote_accesses += 1
         t_up = self.links.reserve_path(request_path(core.index, owner), now)
         owner_core = self.cores[owner]
@@ -163,68 +379,33 @@ class LBP:
             t_up + params.bank_access_latency
         )
         t_back = self.links.reserve_path(reply_path(core.index, owner), t_bank)
-        return owner_core.mem.shared, t_bank, t_back + 1, True
+        return owner_core.mem.shared, ("shared", owner), t_bank, t_back + 1, True
 
     def schedule_load(self, core, hart, entry, low, addr):
         width = low.width
-        bank, t_bank, t_done, remote = self._route_access(core, addr)
+        bank, bank_ref, t_bank, t_done, remote = self._route_access(core, addr)
         hart.rb.occupy(entry.tag, low.rd, entry.rob)
         hart.outstanding_mem += 1
-        mnemonic = low.mnemonic
         self.trace.record(
             self.cycle, core.index, hart.index, "mem_load_req",
             "addr 0x%x bank %s" % (addr, bank.name),
         )
-
-        def do_read():
-            device = self.mmio.get(addr)
-            if device is not None:
-                raw = device.read(self.cycle) & 0xFFFFFFFF
-            else:
-                try:
-                    raw = bank.read(addr, width)
-                except IndexError as exc:
-                    self.error(str(exc))
-                    raw = 0
-            hart.rb.fill(load_value(mnemonic, raw), t_done)
-            self.trace.record(
-                self.cycle, core.index, hart.index, "mem_load",
-                "addr 0x%x -> 0x%x" % (addr, hart.rb.value),
-            )
-
-        def done():
-            hart.outstanding_mem -= 1
-
-        self.schedule(t_bank, do_read)
-        self.schedule(t_done, done)
+        self.schedule(t_bank, "load_read",
+                      (bank_ref, addr, width, low.mnemonic, t_done,
+                       core.index, hart.gid))
+        self.schedule(t_done, "load_done", (hart.gid,))
 
     def schedule_store(self, core, hart, entry, low, addr, value):
         width = low.width
-        bank, t_bank, _t_done, remote = self._route_access(core, addr)
+        bank, bank_ref, t_bank, _t_done, remote = self._route_access(core, addr)
         hart.outstanding_mem += 1
-        rob_entry = entry.rob
         self.trace.record(
             self.cycle, core.index, hart.index, "mem_store_req",
             "addr 0x%x bank %s" % (addr, bank.name),
         )
-
-        def do_write():
-            device = self.mmio.get(addr)
-            if device is not None:
-                device.write(self.cycle, value & 0xFFFFFFFF)
-            else:
-                try:
-                    bank.write(addr, value, width)
-                except IndexError as exc:
-                    self.error(str(exc))
-            hart.outstanding_mem -= 1
-            rob_entry.done = True
-            self.trace.record(
-                self.cycle, core.index, hart.index, "mem_store",
-                "addr 0x%x <- 0x%x" % (addr, value & 0xFFFFFFFF),
-            )
-
-        self.schedule(t_bank, do_write)
+        self.schedule(t_bank, "store_write",
+                      (bank_ref, addr, value, width,
+                       core.index, hart.gid, entry.tag))
 
     # ---- X_PAR messages -------------------------------------------------------
 
@@ -244,18 +425,9 @@ class LBP:
         )
         addr = memmap.hart_cv_base(target.index) + offset
         hart.outstanding_mem += 1
-        rob_entry = entry.rob
-
-        def do_write():
-            target_core.mem.local.write(addr, value, 4)
-            hart.outstanding_mem -= 1
-            rob_entry.done = True
-            self.trace.record(
-                self.cycle, core.index, hart.index, "cv_write",
-                "hart %d off %d <- 0x%x" % (target_gid, offset, value & 0xFFFFFFFF),
-            )
-
-        self.schedule(t_bank, do_write)
+        self.schedule(t_bank, "cv_write",
+                      (target_core.index, addr, value,
+                       core.index, hart.gid, target_gid, offset, entry.tag))
 
     def schedule_re_send(self, core, hart, entry, target_gid, index, value):
         """p_swre: send a result backward to a prior hart's result buffer.
@@ -274,28 +446,10 @@ class LBP:
             return
         links = backward_links(core.index, target.core.index)
         t_arrive = self.links.reserve_path(links, self.cycle) + 1
-        rob_entry = entry.rob
         slot = index % len(target.re_buffers)
-
-        def deliver(parked=False):
-            if target.re_buffers[slot] is not None:
-                waiters = target.re_waiters[slot]
-                if parked:
-                    # a fresh arrival won the drained slot first: keep
-                    # this delivery at the head (it is the oldest)
-                    waiters.insert(0, deliver)
-                else:
-                    waiters.append(deliver)
-                return
-            target.re_buffers[slot] = value & 0xFFFFFFFF
-            rob_entry.done = True
-            self.stats.re_messages += 1
-            self.trace.record(
-                self.cycle, core.index, hart.index, "re_send",
-                "hart %d buf %d <- 0x%x" % (target_gid, slot, value & 0xFFFFFFFF),
-            )
-
-        self.schedule(t_arrive, deliver)
+        self.schedule(t_arrive, "re_deliver",
+                      (core.index, hart.gid, target_gid, slot, value,
+                       entry.tag, False))
 
     def wake_re_waiters(self, target, slot=None):
         """Re-schedule the oldest parked p_swre delivery for a drained slot.
@@ -310,8 +464,9 @@ class LBP:
         for index in slots:
             waiters = target.re_waiters[index]
             if waiters:
-                deliver = waiters.pop(0)
-                self.schedule(self.cycle + 1, lambda fn=deliver: fn(parked=True))
+                desc = waiters.pop(0)
+                self.schedule(self.cycle + 1, "re_deliver",
+                              tuple(desc) + (True,))
 
     def send_start_pc(self, core, hart, target_gid, pc):
         """p_jal/p_jalr: start the allocated hart at *pc* (forward link)."""
@@ -322,20 +477,7 @@ class LBP:
             self.error(str(exc))
             return
         t = self.links.reserve_path(links, self.cycle) if links else self.cycle
-
-        def start():
-            if not target.reserved:
-                self.error(
-                    "start pc sent to hart %d which was not allocated" % target_gid
-                )
-                return
-            target.start(pc, self.cycle)
-            self.trace.record(
-                self.cycle, target.core.index, target.index, "start",
-                "pc 0x%x" % pc,
-            )
-
-        self.schedule(t + 1, start)
+        self.schedule(t + 1, "start_pc", (target_gid, pc))
 
     def send_ending_signal(self, core, hart, succ):
         """The ordered-release chain between team members."""
@@ -344,15 +486,7 @@ class LBP:
         else:
             links = forward_links(core.index, succ.core.index)
         t = self.links.reserve_path(links, self.cycle) if links else self.cycle
-
-        def signal():
-            succ.pred_done = True
-            self.trace.record(
-                self.cycle, core.index, hart.index, "ending_signal",
-                "to hart %d" % succ.gid,
-            )
-
-        self.schedule(t + 1, signal)
+        self.schedule(t + 1, "ending_signal", (core.index, hart.index, succ.gid))
 
     def send_join(self, core, hart, join_gid, addr):
         """p_ret case 4: the join address travels the backward line."""
@@ -364,26 +498,25 @@ class LBP:
             return
         links = backward_links(core.index, target.core.index)
         t = self.links.reserve_path(links, self.cycle) + 1
-
-        def deliver():
-            self.trace.record(
-                self.cycle, target.core.index, target.index, "join",
-                "resume 0x%x" % addr,
-            )
-            if target.waiting_join:
-                target.start(addr, self.cycle)
-            else:
-                target.pending_join = addr
-
-        self.schedule(t, deliver)
+        self.schedule(t, "join", (join_gid, addr))
 
     # ---- the simulation loop ---------------------------------------------------
 
-    def run(self, max_cycles=None):
+    def run(self, max_cycles=None, stop_at_cycle=None,
+            snapshot_every=None, snapshot_callback=None):
         """Run until exit/ebreak; returns :class:`MachineStats`.
 
         Raises :class:`DeadlockError` when nothing can ever progress and
         :class:`MachineError` on traps or when *max_cycles* is exceeded.
+
+        *stop_at_cycle* pauses the simulation (without halting the
+        machine) at the first loop iteration whose cycle is >= the given
+        value — before that cycle's events and pipeline stages run — so
+        the machine can be snapshotted and later resumed by calling
+        :meth:`run` again; the continuation is cycle-for-cycle identical
+        to an uninterrupted run.  *snapshot_every* / *snapshot_callback*
+        invoke ``snapshot_callback(machine)`` at the same safe point
+        roughly every *snapshot_every* cycles.
         """
         limit = max_cycles if max_cycles is not None else self.params.max_cycles
         events = self._events
@@ -391,10 +524,22 @@ class LBP:
         num_cores = len(cores)
         stats = self.stats
         heappop = heapq.heappop
+        handlers = EVENT_HANDLERS
         progress_mark = (0, 0)
         next_progress_check = 4096
         cycle = self.cycle
+        next_snapshot = None
+        if snapshot_every is not None and snapshot_callback is not None:
+            next_snapshot = cycle + snapshot_every
         while not self.halted:
+            if stop_at_cycle is not None and cycle >= stop_at_cycle:
+                self.cycle = cycle
+                stats.cycles = max(stats.cycles, cycle)
+                return stats
+            if next_snapshot is not None and cycle >= next_snapshot:
+                self.cycle = cycle
+                snapshot_callback(self)
+                next_snapshot = cycle + snapshot_every
             if cycle >= next_progress_check:
                 snapshot = (stats.retired, self._seq)
                 if snapshot == progress_mark and not events:
@@ -406,7 +551,8 @@ class LBP:
                     "cycle limit exceeded (%d); likely livelock" % limit
                 )
             while events and events[0][0] <= cycle:
-                heappop(events)[2]()
+                event = heappop(events)
+                handlers[event[2]](self, *event[3])
             if self.halted:
                 break
             # active-core gating: only cores with runnable pipeline work

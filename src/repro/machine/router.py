@@ -42,6 +42,24 @@ class LinkScheduler:
             time = port.reserve(time + self.hop_latency)
         return time
 
+    def state_dict(self):
+        """Per-link cursors as [[tag, index], next_free] rows (sorted)."""
+        return {
+            "hop_latency": self.hop_latency,
+            "links": [
+                [list(link), port.next_free]
+                for link, port in sorted(self._links.items())
+            ],
+        }
+
+    def load_state_dict(self, state):
+        self.hop_latency = state["hop_latency"]
+        self._links = {}
+        for link, next_free in state["links"]:
+            port = Port()
+            port.next_free = next_free
+            self._links[tuple(link)] = port
+
 
 def request_path(src_core, dst_core):
     """Link ids for a shared-memory request from *src_core* to *dst_core*'s bank.

@@ -16,6 +16,16 @@ class HartStats:
         self.stores = 0
         self.forks = 0
 
+    def state_dict(self):
+        return {"retired": self.retired, "loads": self.loads,
+                "stores": self.stores, "forks": self.forks}
+
+    def load_state_dict(self, state):
+        self.retired = state["retired"]
+        self.loads = state["loads"]
+        self.stores = state["stores"]
+        self.forks = state["forks"]
+
 
 class MachineStats:
     """Aggregated counters for one simulation run."""
@@ -35,6 +45,30 @@ class MachineStats:
         #: core-cycles the run loop did not tick thanks to active-core
         #: gating (idle cores awaiting a wakeup, plus all-idle jumps)
         self.skipped_core_cycles = 0
+
+    def state_dict(self):
+        return {
+            "cycles": self.cycles,
+            "local_accesses": self.local_accesses,
+            "remote_accesses": self.remote_accesses,
+            "forks": self.forks,
+            "joins": self.joins,
+            "re_messages": self.re_messages,
+            "skipped_core_cycles": self.skipped_core_cycles,
+            "harts": [[h.state_dict() for h in core] for core in self.harts],
+        }
+
+    def load_state_dict(self, state):
+        self.cycles = state["cycles"]
+        self.local_accesses = state["local_accesses"]
+        self.remote_accesses = state["remote_accesses"]
+        self.forks = state["forks"]
+        self.joins = state["joins"]
+        self.re_messages = state["re_messages"]
+        self.skipped_core_cycles = state["skipped_core_cycles"]
+        for core, core_state in zip(self.harts, state["harts"]):
+            for hart_stats, hart_state in zip(core, core_state):
+                hart_stats.load_state_dict(hart_state)
 
     @property
     def retired(self):

@@ -17,6 +17,19 @@ class Trace:
         self.kinds = frozenset(kinds) if kinds is not None else None
         self.events = []
 
+    def state_dict(self):
+        return {
+            "enabled": self.enabled,
+            "kinds": None if self.kinds is None else sorted(self.kinds),
+            "events": [list(event) for event in self.events],
+        }
+
+    def load_state_dict(self, state):
+        self.enabled = state["enabled"]
+        self.kinds = (
+            None if state["kinds"] is None else frozenset(state["kinds"]))
+        self.events = [tuple(event) for event in state["events"]]
+
     def record(self, cycle, core, hart, kind, payload):
         if not self.enabled:
             return

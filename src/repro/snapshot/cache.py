@@ -1,0 +1,223 @@
+"""Content-addressed run cache: exact memoization of deterministic runs.
+
+Key derivation (see DESIGN.md, "Snapshots and the run cache")::
+
+    key = SHA-256( canonical JSON of {
+        program:     SHA-256 of the canonical program bytes,
+        params:      Params.state_dict(),
+        inputs:      workload inputs (any JSON-serializable value),
+        sim_version: SIM_VERSION,
+    } )
+
+Because the simulator is deterministic, two runs with equal keys produce
+identical results, so a hit can be returned verbatim — memoization is
+*exact*, not best-effort.  Changing any component (one program byte, one
+latency knob, one workload input, the model version) changes the key and
+forces a miss.
+
+Storage layout under the cache root (``LBP_CACHE_DIR`` overrides)::
+
+    objects/<k[:2]>/<key>.json   result entry (value + metadata)
+    objects/<k[:2]>/<key>.snap   optional final machine snapshot
+
+Values must survive a JSON round-trip unchanged; :meth:`RunCache.put`
+refuses (returns None) otherwise, so a hit is byte-identical to the miss
+that produced it.
+"""
+
+import hashlib
+import json
+import os
+import shutil
+
+from repro.snapshot.progio import program_bytes
+from repro.snapshot.snapshot import SIM_VERSION, trace_digest
+
+_ENTRY_SUFFIX = ".json"
+_SNAP_SUFFIX = ".snap"
+
+
+def default_cache_root():
+    """``$LBP_CACHE_DIR``, else ``$XDG_CACHE_HOME/lbp-repro``, else
+    ``~/.cache/lbp-repro``."""
+    env = os.environ.get("LBP_CACHE_DIR")
+    if env:
+        return env
+    xdg = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache")
+    return os.path.join(xdg, "lbp-repro")
+
+
+def _canonical_json(value):
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+class RunCache:
+    """A content-addressed store of simulation results on local disk."""
+
+    def __init__(self, root=None):
+        self.root = root or default_cache_root()
+        self.hits = 0
+        self.misses = 0
+
+    # ---- keys ---------------------------------------------------------------
+
+    def key_for(self, program=None, params=None, inputs=None,
+                sim_version=SIM_VERSION):
+        """Content-addressed key (hex SHA-256) for one run.
+
+        *program* is a Program or its canonical bytes; *params* a Params
+        or its state dict; *inputs* any JSON-serializable description of
+        the workload inputs (sizes, seeds, version names...).
+        """
+        if program is not None and not isinstance(program, (bytes, bytearray)):
+            program = program_bytes(program)
+        if params is not None and not isinstance(params, dict):
+            params = params.state_dict()
+        material = {
+            "program": None if program is None
+            else hashlib.sha256(bytes(program)).hexdigest(),
+            "params": params,
+            "inputs": inputs,
+            "sim_version": sim_version,
+        }
+        return hashlib.sha256(_canonical_json(material).encode()).hexdigest()
+
+    def task_key(self, fn, args=(), kwargs=None, sim_version=SIM_VERSION):
+        """Key for a runner task: callable identity + arguments + version.
+
+        Used by :func:`repro.eval.runner.run_experiments`; the callable's
+        module-qualified name stands in for "lowered program bytes" (the
+        task compiles its own program deterministically from *args*).
+        """
+        material = {
+            "fn": "%s.%s" % (fn.__module__,
+                             getattr(fn, "__qualname__", fn.__name__)),
+            "args": [repr(a) for a in args],
+            "kwargs": {k: repr(v) for k, v in sorted((kwargs or {}).items())},
+            "sim_version": sim_version,
+        }
+        return hashlib.sha256(_canonical_json(material).encode()).hexdigest()
+
+    # ---- store --------------------------------------------------------------
+
+    def _entry_path(self, key):
+        return os.path.join(self.root, "objects", key[:2], key + _ENTRY_SUFFIX)
+
+    def get(self, key):
+        """The stored entry dict for *key*, or None; counts hit/miss."""
+        try:
+            with open(self._entry_path(key)) as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key, value, extra=None, snapshot_bytes=None):
+        """Store *value* under *key*; returns the canonical value.
+
+        Returns None (and stores nothing) when *value* does not survive a
+        JSON round-trip unchanged — such a result cannot be returned
+        byte-identically on a later hit.
+        """
+        try:
+            canonical = json.loads(json.dumps(value))
+        except (TypeError, ValueError):
+            return None
+        if canonical != value:
+            return None
+        entry = {"key": key, "value": canonical}
+        if extra:
+            entry.update(extra)
+        path = self._entry_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(entry, handle, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+        if snapshot_bytes is not None:
+            snap_path = path[: -len(_ENTRY_SUFFIX)] + _SNAP_SUFFIX
+            with open(snap_path + ".tmp", "wb") as handle:
+                handle.write(snapshot_bytes)
+            os.replace(snap_path + ".tmp", snap_path)
+        return canonical
+
+    def snapshot_path(self, key):
+        """Path of the stored final snapshot for *key*, or None."""
+        path = self._entry_path(key)[: -len(_ENTRY_SUFFIX)] + _SNAP_SUFFIX
+        return path if os.path.exists(path) else None
+
+    # ---- the content-addressed run ------------------------------------------
+
+    def run_program(self, program, params, inputs=None, max_cycles=None,
+                    store_snapshot=True):
+        """Run *program* on a cycle-accurate machine through the cache.
+
+        Returns ``(value, hit)`` where value is ``{"summary": ...,
+        "trace_digest": ..., "cycles": ..., "retired": ...}``.  On a miss
+        the run executes, its final snapshot is stored next to the entry
+        (resume/inspect later via :meth:`snapshot_path`), and the entry is
+        recorded; on a hit nothing is simulated.
+        """
+        from repro.machine import LBP
+        from repro.snapshot.snapshot import snapshot
+
+        key = self.key_for(program=program, params=params, inputs=inputs)
+        entry = self.get(key)
+        if entry is not None:
+            return entry["value"], True
+        machine = LBP(params).load(program)
+        stats = machine.run(max_cycles=max_cycles)
+        value = {
+            "summary": stats.summary(),
+            "trace_digest": trace_digest(machine.trace.events),
+            "cycles": stats.cycles,
+            "retired": stats.retired,
+        }
+        blob = snapshot(machine) if store_snapshot else None
+        stored = self.put(key, value, snapshot_bytes=blob)
+        return (stored if stored is not None else value), False
+
+    # ---- maintenance / introspection ----------------------------------------
+
+    def entries(self):
+        """All stored entries as (key, entry_bytes, snapshot_bytes) rows."""
+        rows = []
+        objects = os.path.join(self.root, "objects")
+        if not os.path.isdir(objects):
+            return rows
+        for shard in sorted(os.listdir(objects)):
+            shard_dir = os.path.join(objects, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if not name.endswith(_ENTRY_SUFFIX):
+                    continue
+                key = name[: -len(_ENTRY_SUFFIX)]
+                entry_bytes = os.path.getsize(os.path.join(shard_dir, name))
+                snap = os.path.join(shard_dir, key + _SNAP_SUFFIX)
+                snap_bytes = os.path.getsize(snap) if os.path.exists(snap) else 0
+                rows.append((key, entry_bytes, snap_bytes))
+        return rows
+
+    def stats(self):
+        rows = self.entries()
+        return {
+            "root": self.root,
+            "entries": len(rows),
+            "entry_bytes": sum(r[1] for r in rows),
+            "snapshot_bytes": sum(r[2] for r in rows),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self):
+        """Delete every stored object; returns how many entries were removed."""
+        count = len(self.entries())
+        objects = os.path.join(self.root, "objects")
+        if os.path.isdir(objects):
+            shutil.rmtree(objects)
+        return count

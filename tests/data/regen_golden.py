@@ -5,24 +5,69 @@ recorded references (the point of the file is to catch unintentional
 ones):
 
     PYTHONPATH=src:tests:tests/integration python tests/data/regen_golden.py
+
+Refuses to run from a dirty working tree: the digests must be
+attributable to one reviewable commit, not to uncommitted local edits
+(pass ``--force`` to override, e.g. while iterating on the model change
+itself).  Bump ``repro.snapshot.snapshot.SIM_VERSION`` in the same
+commit — stale snapshots and cache entries key off it.
 """
 
+import argparse
 import json
 import os
+import subprocess
 import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "integration"))
 
 from test_trace_golden import GOLDEN_PATH, WORKLOADS, measure  # noqa: E402
 
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", ".."))
 
-def main():
+
+def working_tree_dirty():
+    """Uncommitted changes (tracked files) in the repo, as porcelain lines.
+
+    Untracked files don't count — they cannot have changed the model.
+    Returns [] when git is unavailable (regeneration is then allowed:
+    e.g. running from an exported tarball).
+    """
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain", "--untracked-files=no"],
+            cwd=REPO_ROOT, check=True, capture_output=True, text=True).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return []
+    return [line for line in out.splitlines() if line.strip()]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--force", action="store_true",
+                        help="regenerate even from a dirty working tree")
+    args = parser.parse_args(argv)
+
+    dirty = working_tree_dirty()
+    if dirty and not args.force:
+        print("error: refusing to regenerate golden traces from a dirty "
+              "working tree —\nthe new digests would not be attributable "
+              "to a single commit.", file=sys.stderr)
+        print("Uncommitted changes:", file=sys.stderr)
+        for line in dirty:
+            print("  " + line, file=sys.stderr)
+        print("Commit (or stash) first, or pass --force while iterating.",
+              file=sys.stderr)
+        return 1
+
     golden = {name: measure(name) for name in sorted(WORKLOADS)}
     with open(os.path.abspath(GOLDEN_PATH), "w") as handle:
         json.dump(golden, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(json.dumps(golden, indent=2, sort_keys=True))
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

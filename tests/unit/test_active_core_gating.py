@@ -63,12 +63,10 @@ def test_simultaneous_wakeups_tick_in_core_index_order():
     entry = machine.program.entry
     wake_cycle = 5
 
-    def wake(core_index):
+    for core_index in (2, 1):  # deliberately reversed
         hart = machine.cores[core_index].harts[0]
-        hart.start(entry, machine.cycle)
-
-    machine.schedule(wake_cycle, lambda: wake(2))  # deliberately reversed
-    machine.schedule(wake_cycle, lambda: wake(1))
+        hart.reserved = True  # make the hart a valid start_pc target
+        machine.schedule(wake_cycle, "start_pc", (hart.gid, entry))
 
     with pytest.raises(MachineError):  # the spin loops hit the limit
         machine.run(max_cycles=300)

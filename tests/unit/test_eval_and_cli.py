@@ -106,3 +106,73 @@ def test_cli_trace(tmp_path, capsys):
                      "--cores", "1", "--trace", "--trace-limit", "5"]) == 0
     out = capsys.readouterr().out
     assert "at cycle" in out
+
+
+def test_cli_trace_kinds_filters_events(tmp_path, capsys):
+    assert cli_main(["run", _write(tmp_path, _PROG), "--cores", "1",
+                     "--trace-kinds", "mem_store,fork",
+                     "--trace-limit", "10000"]) == 0
+    out = capsys.readouterr().out
+    trace_lines = [line for line in out.splitlines() if "at cycle" in line]
+    assert trace_lines  # the filter implies --trace
+    assert all(" mem_store " in line or " fork " in line
+               for line in trace_lines)
+    assert any(" fork " in line for line in trace_lines)
+    assert not any(" mem_load " in line for line in trace_lines)
+
+
+def test_cli_trace_kinds_subset_of_full_trace(tmp_path, capsys):
+    assert cli_main(["run", _write(tmp_path, _PROG), "--cores", "1",
+                     "--trace", "--trace-limit", "10000"]) == 0
+    full = [line for line in capsys.readouterr().out.splitlines()
+            if " mem_store " in line]
+    assert cli_main(["run", _write(tmp_path, _PROG), "--cores", "1",
+                     "--trace-kinds", "mem_store",
+                     "--trace-limit", "10000"]) == 0
+    filtered = [line for line in capsys.readouterr().out.splitlines()
+                if "at cycle" in line]
+    assert filtered == full  # same events, same order — only non-matching dropped
+
+
+def test_cli_snapshot_flags_rejected_on_fast_sim(tmp_path, capsys):
+    path = _write(tmp_path, _PROG)
+    for flags in (["--stop-at-cycle", "10"], ["--snapshot-every", "10"],
+                  ["--snapshot-out", str(tmp_path / "x.lbpsnap")],
+                  ["--resume", str(tmp_path / "x.lbpsnap")]):
+        assert cli_main(["run", path, "--sim", "fast"] + flags) == 2
+        assert "does not support snapshot" in capsys.readouterr().err
+
+
+def test_cli_run_requires_source_unless_resuming(capsys):
+    assert cli_main(["run"]) == 2
+    assert "source file is required" in capsys.readouterr().err
+
+
+def test_cli_cache_subcommands(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("LBP_CACHE_DIR", str(tmp_path / "cache"))
+    assert cli_main(["cache", "stats"]) == 0
+    assert "entries" in capsys.readouterr().out
+
+    from repro.snapshot import RunCache
+
+    cache = RunCache()
+    cache.put(cache.key_for(inputs="cli-test"), {"cycles": 7})
+    assert cli_main(["cache", "ls"]) == 0
+    assert "1 entry" in capsys.readouterr().out
+    assert cli_main(["cache", "clear"]) == 0
+    assert "removed 1 entry" in capsys.readouterr().out
+    assert cli_main(["cache", "ls"]) == 0
+    assert "0 entries" in capsys.readouterr().out
+
+
+def test_cli_experiments_cache_hits_on_second_run(tmp_path, capsys):
+    argv = ["experiments", "--h", "16", "--cores", "4", "--scale", "8",
+            "--sim", "fast", "--jobs", "1",
+            "--cache-dir", str(tmp_path / "cache")]
+    assert cli_main(argv) == 0
+    cold = capsys.readouterr()
+    assert "miss(es)" in cold.err and "0 hit(s)" in cold.err
+    assert cli_main(argv) == 0
+    warm = capsys.readouterr()
+    assert "0 miss(es)" in warm.err
+    assert warm.out == cold.out  # byte-identical figure

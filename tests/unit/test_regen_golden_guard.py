@@ -1,0 +1,57 @@
+"""The golden-trace regenerator must refuse a dirty working tree.
+
+Golden digests are only trustworthy when attributable to one commit; a
+regeneration that silently bakes in uncommitted model edits would defeat
+the whole regression scheme.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(__file__), "..", "data"))
+sys.path.insert(0, os.path.join(
+    os.path.dirname(__file__), "..", "integration"))
+
+import regen_golden  # noqa: E402
+
+
+@pytest.fixture()
+def stubbed(monkeypatch, tmp_path):
+    """Point the regenerator at a stub measurement and a scratch file."""
+    golden_path = tmp_path / "golden.json"
+    monkeypatch.setattr(regen_golden, "GOLDEN_PATH", str(golden_path))
+    monkeypatch.setattr(regen_golden, "WORKLOADS", {"stub": None})
+    monkeypatch.setattr(regen_golden, "measure", lambda name: {"cycles": 1})
+    return golden_path
+
+
+def test_refuses_dirty_tree(stubbed, monkeypatch, capsys):
+    monkeypatch.setattr(regen_golden, "working_tree_dirty",
+                        lambda: [" M src/repro/machine/processor.py"])
+    assert regen_golden.main([]) == 1
+    err = capsys.readouterr().err
+    assert "refusing" in err and "processor.py" in err
+    assert not stubbed.exists()  # nothing was written
+
+
+def test_force_overrides_dirty_tree(stubbed, monkeypatch, capsys):
+    monkeypatch.setattr(regen_golden, "working_tree_dirty",
+                        lambda: [" M src/repro/machine/processor.py"])
+    assert regen_golden.main(["--force"]) == 0
+    assert json.loads(stubbed.read_text()) == {"stub": {"cycles": 1}}
+
+
+def test_clean_tree_regenerates(stubbed, monkeypatch):
+    monkeypatch.setattr(regen_golden, "working_tree_dirty", lambda: [])
+    assert regen_golden.main([]) == 0
+    assert json.loads(stubbed.read_text()) == {"stub": {"cycles": 1}}
+
+
+def test_working_tree_dirty_reports_porcelain_lines():
+    lines = regen_golden.working_tree_dirty()
+    assert isinstance(lines, list)
+    assert all(isinstance(line, str) and line.strip() for line in lines)

@@ -75,3 +75,46 @@ def test_empty_task_list():
 
 def test_default_jobs_positive():
     assert default_jobs() >= 1
+
+
+def test_no_fork_platform_degrades_to_identical_sequential(monkeypatch):
+    """Platforms without fork: silent sequential degrade, same bytes.
+
+    ``multiprocessing.get_context("fork")`` raises ValueError on
+    platforms that do not offer the start method; the runner must fall
+    back to the in-process loop and return byte-identical results.
+    """
+    from repro.eval import runner
+
+    reference = run_experiments(TASKS, jobs=4)
+
+    calls = []
+
+    def no_fork(method=None):
+        calls.append(method)
+        raise ValueError("cannot find context for %r" % (method,))
+
+    monkeypatch.setattr(runner.multiprocessing, "get_context", no_fork)
+    degraded = run_experiments(TASKS, jobs=4)
+    assert calls == ["fork"]  # the parallel path was attempted
+    assert list(degraded) == list(reference)  # same merge order
+    for key in reference:  # same bytes, result by result
+        assert pickle.dumps(degraded[key]) == pickle.dumps(reference[key])
+
+
+def test_no_fork_degrade_with_cache(tmp_path, monkeypatch):
+    """The sequential-degrade path fills and serves the run cache too."""
+    from repro.eval import runner
+    from repro.snapshot import RunCache
+
+    def no_fork(method=None):
+        raise ValueError("no fork here")
+
+    monkeypatch.setattr(runner.multiprocessing, "get_context", no_fork)
+    cache = RunCache(str(tmp_path / "cache"))
+    tasks = [("sq/%d" % n, _square, (n,)) for n in range(6)]
+    cold = run_experiments(tasks, jobs=4, cache=cache)
+    assert cache.hits == 0 and cache.misses == len(tasks)
+    warm = run_experiments(tasks, jobs=4, cache=cache)
+    assert cache.hits == len(tasks)
+    assert pickle.dumps(cold) == pickle.dumps(warm)
