@@ -1,0 +1,82 @@
+"""Perf-regression guard: compare E1 throughput against the baseline.
+
+Reads the most recent ``test_fig19_matmul_4core`` entry appended to
+``BENCH_perf.json`` (run ``pytest benchmarks/test_fig19_matmul_4core.py``
+first) and compares its ``cycles_per_s`` against the committed
+``benchmarks/perf_baseline.json``:
+
+* **below** baseline by more than the tolerance (default 30%) → exit 1.
+  That is the loud failure the guard exists for: a hot-path regression.
+* **above** baseline by more than the tolerance → exit 0 with a nudge to
+  refresh the baseline (faster runner or a genuine speedup — either way
+  the committed number is stale and the guard has lost its bite).
+
+The baseline is runner-dependent; refresh it on the reference runner
+with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_fig19_matmul_4core.py -q
+    PYTHONPATH=src python benchmarks/check_perf_baseline.py --refresh
+"""
+
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+PERF_PATH = os.path.join(HERE, os.pardir, "BENCH_perf.json")
+BASELINE_PATH = os.path.join(HERE, "perf_baseline.json")
+EXPERIMENT = "test_fig19_matmul_4core"
+
+
+def latest_measurement():
+    with open(PERF_PATH) as handle:
+        runs = json.load(handle)["runs"]
+    rows = [r for r in runs
+            if r["experiment"] == EXPERIMENT and r.get("cycles_per_s")]
+    if not rows:
+        sys.exit("no measurable %r entry in %s — run the E1 bench first"
+                 % (EXPERIMENT, PERF_PATH))
+    return rows[-1]
+
+
+def main(argv):
+    measured = latest_measurement()
+    rate = measured["cycles_per_s"]
+
+    if "--refresh" in argv:
+        baseline = {
+            "experiment": EXPERIMENT,
+            "cycles_per_s": rate,
+            "tolerance": 0.30,
+            "measured": measured["date"],
+            "note": "refresh on the reference runner with "
+                    "check_perf_baseline.py --refresh after running the "
+                    "E1 bench",
+        }
+        with open(BASELINE_PATH, "w") as handle:
+            json.dump(baseline, handle, indent=2)
+            handle.write("\n")
+        print("baseline refreshed: %d cycles/s" % rate)
+        return 0
+
+    with open(BASELINE_PATH) as handle:
+        baseline = json.load(handle)
+    reference = baseline["cycles_per_s"]
+    tolerance = baseline.get("tolerance", 0.30)
+    ratio = rate / reference
+    print("E1 throughput: measured %d cycles/s, baseline %d (%.0f%%, "
+          "tolerance ±%.0f%%)"
+          % (rate, reference, 100 * ratio, 100 * tolerance))
+    if ratio < 1 - tolerance:
+        print("FAIL: hot-path regression — E1 simulation throughput fell "
+              "more than %.0f%% below the committed baseline"
+              % (100 * tolerance))
+        return 1
+    if ratio > 1 + tolerance:
+        print("note: measured throughput is well above the baseline; "
+              "refresh perf_baseline.json so the guard keeps its bite")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -64,19 +64,26 @@ def _extract_counts(result):
     return 0, 0
 
 
-def _record_perf(experiment, wall, result, jobs=None):
+def _record_perf(experiment, wall, result, jobs=None, extra=None):
     cycles, retired = _extract_counts(result)
+    # a wall time at (or below) the clock's resolution is noise — a warm
+    # cache hit, say — and dividing by it fabricates absurd throughput;
+    # record the raw time at microsecond precision and null the rates
+    resolution = time.get_clock_info("perf_counter").resolution
+    measurable = wall > max(resolution, 1e-6)
     entry = {
         "experiment": experiment,
-        "wall_s": round(wall, 3),
+        "wall_s": round(wall, 6),
         "cycles": cycles,
         "retired": retired,
-        "cycles_per_s": round(cycles / wall) if wall > 0 else 0,
-        "retired_per_s": round(retired / wall) if wall > 0 else 0,
+        "cycles_per_s": round(cycles / wall) if measurable else None,
+        "retired_per_s": round(retired / wall) if measurable else None,
         "date": time.strftime("%Y-%m-%d %H:%M:%S"),
     }
     if jobs is not None:
         entry["jobs"] = jobs
+    if extra:
+        entry.update(extra)
     try:
         with open(_PERF_PATH) as handle:
             data = json.load(handle)
@@ -126,8 +133,11 @@ def fanout(request):
             jobs = bench_jobs()
         t0 = time.perf_counter()
         results = run_experiments(tasks, jobs=jobs)
+        # record the job count the runner actually resolved, not the
+        # request (None means "runner's default")
+        resolved = getattr(results, "meta", {}).get("jobs", jobs)
         _record_perf(request.node.name, time.perf_counter() - t0,
-                     results, jobs=jobs)
+                     results, jobs=resolved)
         return results
 
     return run

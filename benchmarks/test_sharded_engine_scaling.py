@@ -1,0 +1,105 @@
+"""Space-sharded engine: full-scale cycle-accurate E2/E3 and shard scaling.
+
+Three measurements, all recorded in BENCH_perf.json:
+
+* **E2 at full scale** (Figure 20's machine: 16 cores / 64 harts,
+  ``scale=1``) — the base matmul version simulated cycle-accurately,
+  once in-process and once under ``shards=4``, asserting the result
+  rows are bit-identical and recording the wall-clock speedup.  On a
+  multi-core runner the sharded run is expected to be >= 2x faster; on
+  a single-CPU box the recorded "speedup" is honestly < 1 (the workers
+  time-slice one core and pay the barrier overhead on top).
+* **E3 cycle-accurate** (Figure 21's machine: 64 cores / 256 harts) —
+  the first cycle-accurate run of the paper's headline machine in this
+  repo; previously E3 was only reachable through the instruction-level
+  fast simulator.  Runs the tiled version at ``scale=16`` by default
+  (``LBP_BENCH_SCALE`` overrides), sharded.
+* **Shard-count scaling** — one mid-size workload swept over shards
+  1/2/4/8 so EXPERIMENTS.md's "Simulator performance" section can track
+  the scaling curve runner by runner.
+
+Env knobs: ``LBP_BENCH_SHARDS`` (default 4) for the E2/E3 shard count,
+``LBP_BENCH_SCALE`` as everywhere else.
+"""
+
+import os
+import time
+
+from conftest import _record_perf, bench_scale
+
+from repro.eval import run_matmul_experiment
+
+
+def bench_shards(default=4):
+    value = os.environ.get("LBP_BENCH_SHARDS")
+    return int(value) if value else default
+
+
+def _timed(**kwargs):
+    t0 = time.perf_counter()
+    row = run_matmul_experiment(**kwargs)
+    return row, time.perf_counter() - t0
+
+
+def test_e2_full_scale_sharded_speedup():
+    shards = bench_shards()
+    scale = bench_scale(1)
+    seq, wall_seq = _timed(version="base", h=64, num_cores=16,
+                           scale=scale, simulator="cycle")
+    shd, wall_shd = _timed(version="base", h=64, num_cores=16,
+                           scale=scale, simulator="cycle", shards=shards)
+    assert seq == shd, "sharded E2 must be bit-identical to in-process"
+    speedup = wall_seq / wall_shd
+    _record_perf("e2_matmul16_base_full_seq", wall_seq, seq,
+                 extra={"scale": scale})
+    _record_perf("e2_matmul16_base_full_shards%d" % shards, wall_shd, shd,
+                 extra={"scale": scale, "shards": shards,
+                        "speedup_vs_seq": round(speedup, 3)})
+    print()
+    print("E2 full-scale base: seq %.2fs, shards=%d %.2fs -> %.2fx"
+          % (wall_seq, shards, wall_shd, speedup))
+    # CI enforces the >=2x acceptance bar; locally the assertion only
+    # fires when the runner actually has a CPU per shard to offer.
+    if (os.environ.get("LBP_REQUIRE_SHARD_SPEEDUP")
+            and len(os.sched_getaffinity(0)) >= shards):
+        assert speedup >= 2.0, (
+            "sharded E2 speedup %.2fx below the 2x bar on a %d-CPU runner"
+            % (speedup, len(os.sched_getaffinity(0))))
+
+
+def test_e3_matmul64_cycle_accurate():
+    shards = bench_shards()
+    scale = bench_scale(16)
+    row, wall = _timed(version="tiled", h=256, num_cores=64,
+                       scale=scale, simulator="cycle", shards=shards)
+    _record_perf("e3_matmul64_tiled_cycle_shards%d" % shards, wall, row,
+                 extra={"scale": scale, "shards": shards})
+    print()
+    print("E3 cycle-accurate tiled: %d cycles, ipc %.2f, %.2fs "
+          "(scale=1/%d, shards=%d)"
+          % (row["cycles"], row["ipc"], wall, scale, shards))
+    # the run completed and was verified (verify_matmul ran inside);
+    # sanity-pin the shape: tiled keeps the 64-core machine busy
+    assert row["cores"] == 64 and row["cycles"] > 0
+    assert row["ipc"] > 30.0, row
+
+
+def test_shard_count_scaling_curve():
+    scale = bench_scale(8)
+    walls = {}
+    rows = {}
+    for shards in (1, 2, 4, 8):
+        rows[shards], walls[shards] = _timed(
+            version="base", h=64, num_cores=16, scale=scale,
+            simulator="cycle", shards=shards)
+        _record_perf("shard_scaling_matmul16_shards%d" % shards,
+                     walls[shards], rows[shards],
+                     extra={"scale": scale, "shards": shards,
+                            "speedup_vs_seq":
+                                round(walls[1] / walls[shards], 3)})
+    assert len({tuple(sorted(r.items())) for r in rows.values()}) == 1, \
+        "every shard count must produce the identical result row"
+    print()
+    for shards in sorted(walls):
+        print("shards=%d  %.2fs  (%.2fx vs in-process)"
+              % (shards, walls[shards], walls[1] / walls[shards]))

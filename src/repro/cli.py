@@ -6,6 +6,7 @@ Usage (installed as ``python -m repro``):
     python -m repro disasm prog.c                # print the final listing
     python -m repro run prog.c --cores 4         # run, print statistics
     python -m repro run prog.c --sim fast        # fast simulator
+    python -m repro run prog.c --shards 4        # space-sharded, bit-identical
     python -m repro run prog.c --trace --trace-limit 50
     python -m repro run prog.c --trace-kinds mem_store,fork
     python -m repro run prog.c --print total,v:8 # dump globals after the run
@@ -57,11 +58,21 @@ def cmd_run(args):
         print("error: the fast simulator does not support snapshot/resume "
               "(use --sim cycle)", file=sys.stderr)
         return 2
+    if args.shards is not None and args.sim == "fast":
+        print("error: --shards requires the cycle simulator (--sim cycle)",
+              file=sys.stderr)
+        return 2
     if args.resume:
         from repro.snapshot import load_snapshot
 
         machine = load_snapshot(args.resume)
         program = machine.program
+        if args.shards is not None and args.shards != 1:
+            # a snapshot restores a plain LBP; wrap it so the resumed run
+            # (bit-identical either way) executes across shard workers
+            from repro.parsim import ShardedLBP
+
+            machine = ShardedLBP(shards=args.shards, master=machine)
     else:
         if not args.source:
             print("error: a source file is required unless --resume is given",
@@ -78,7 +89,8 @@ def cmd_run(args):
         if args.sim == "fast":
             machine = FastLBP(params)
         else:
-            machine = LBP(params, trace=Trace(trace_enabled, kinds=trace_kinds))
+            machine = LBP(params, trace=Trace(trace_enabled, kinds=trace_kinds),
+                          shards=args.shards)
         machine.load(program)
 
     run_kwargs = {"max_cycles": args.max_cycles}
@@ -98,7 +110,15 @@ def cmd_run(args):
         run_kwargs["snapshot_every"] = args.snapshot_every
         run_kwargs["snapshot_callback"] = periodic_snapshot
 
-    if args.profile:
+    if args.profile and getattr(machine, "shards", 1) > 1:
+        # sharded run: the simulation happens in the worker processes, so
+        # a parent-side cProfile would see only pipe reads — profile the
+        # representative shard 0 worker instead
+        machine.profile_shard_zero = True
+        print("profiling : shard 0's worker process (of %d shards); the "
+              "other shards run unprofiled" % machine.shards)
+        stats = machine.run(**run_kwargs)
+    elif args.profile:
         import cProfile
         import pstats
 
@@ -158,9 +178,14 @@ def cmd_experiments(args):
         from repro.snapshot import RunCache
 
         cache = RunCache(args.cache_dir)
+    # sharding changes only wall time, never results — keep it out of the
+    # task arguments (and thus the cache key) unless actually requested
+    extra = {}
+    if args.shards is not None and args.shards != 1:
+        extra["shards"] = args.shards
     tasks = [
         (version, run_matmul_experiment,
-         (version, args.h, args.cores, args.scale, args.sim))
+         (version, args.h, args.cores, args.scale, args.sim), extra)
         for version in MATMUL_VERSIONS
     ]
     rows = run_experiments(tasks, jobs=args.jobs, cache=cache)
@@ -168,6 +193,8 @@ def cmd_experiments(args):
         rows,
         title="matmul figure — h=%d, %d cores, scale=1/%d, %s sim"
               % (args.h, args.cores, args.scale, args.sim)))
+    print("jobs     : %d worker process(es)" % rows.meta["jobs"],
+          file=sys.stderr)
     if cache is not None:
         print("cache    : %d hit(s), %d miss(es) [%s]"
               % (cache.hits, cache.misses, cache.root), file=sys.stderr)
@@ -213,6 +240,9 @@ def main(argv=None):
                        help=".c (DetC) or .s (assembly) file "
                             "(optional with --resume)")
     p_run.add_argument("--cores", type=int, default=4)
+    p_run.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="space-shard the cycle simulator across N worker "
+                            "processes (bit-identical results; 1 = in-process)")
     p_run.add_argument("--sim", choices=("cycle", "fast"), default="cycle")
     p_run.add_argument("--max-cycles", type=int, default=200_000_000)
     p_run.add_argument("--trace", action="store_true")
@@ -249,8 +279,12 @@ def main(argv=None):
     p_exp.add_argument("--scale", type=int, default=1,
                        help="work-scale divisor (see LBP_BENCH_SCALE)")
     p_exp.add_argument("--sim", choices=("cycle", "fast"), default="cycle")
+    p_exp.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="space-shard each cycle simulation across N "
+                            "worker processes (results are bit-identical)")
     p_exp.add_argument("--jobs", type=int, default=None,
-                       help="worker processes (default: one per CPU)")
+                       help="worker processes (default: LBP_JOBS or the "
+                            "CPU affinity count)")
     p_exp.add_argument("--no-cache", action="store_true",
                        help="always simulate; skip the run cache")
     p_exp.add_argument("--cache-dir", default=None,

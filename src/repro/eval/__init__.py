@@ -15,9 +15,10 @@ from repro.eval.figures import (
     run_matmul_figure,
 )
 from repro.eval.paper_data import PAPER_FIG19, PAPER_FIG20, PAPER_FIG21
-from repro.eval.runner import default_jobs, run_experiments
+from repro.eval.runner import ExperimentResults, default_jobs, run_experiments
 
 __all__ = [
+    "ExperimentResults",
     "PAPER_FIG19",
     "PAPER_FIG20",
     "PAPER_FIG21",

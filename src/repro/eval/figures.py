@@ -7,15 +7,22 @@ from repro.workloads.matmul import MATMUL_VERSIONS, matmul_source, verify_matmul
 
 
 def run_matmul_experiment(version, h, num_cores, scale=1, simulator="cycle",
-                          max_cycles=500_000_000):
-    """Compile, run and verify one matmul version; returns a result row."""
+                          max_cycles=500_000_000, shards=None):
+    """Compile, run and verify one matmul version; returns a result row.
+
+    *shards* (cycle simulator only) runs the space-sharded engine; the
+    results are bit-identical to ``shards=None``, so the row is the same
+    either way — only the wall time changes.
+    """
     program = compile_to_program(
         matmul_source(version, h, scale=scale), "matmul_%s.c" % version
     )
     params = Params(num_cores=num_cores)
     if simulator == "cycle":
-        machine = LBP(params).load(program)
+        machine = LBP(params, shards=shards).load(program)
     elif simulator == "fast":
+        if shards not in (None, 1):
+            raise ValueError("shards requires the cycle simulator")
         machine = FastLBP(params).load(program)
     else:
         raise ValueError("simulator must be 'cycle' or 'fast'")

@@ -31,12 +31,47 @@ so a warm re-run merges byte-identically to the cold run that filled it.
 import multiprocessing
 import os
 
-__all__ = ["default_jobs", "run_experiments"]
+__all__ = ["ExperimentResults", "default_jobs", "run_experiments"]
 
 
 def default_jobs():
-    """Worker count when the caller does not choose: one per CPU."""
-    return max(1, os.cpu_count() or 1)
+    """Worker count when the caller does not choose.
+
+    Resolution order: the ``LBP_JOBS`` environment variable (ignored when
+    unset, non-numeric or < 1), then the scheduler affinity mask
+    (``os.sched_getaffinity`` — a container pinned to 4 of the host's 64
+    CPUs gets 4 workers, not 64), then ``os.cpu_count()``.
+    """
+    override = os.environ.get("LBP_JOBS")
+    if override:
+        try:
+            jobs = int(override)
+        except ValueError:
+            jobs = 0
+        if jobs >= 1:
+            return jobs
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return max(1, os.cpu_count() or 1)
+
+
+class ExperimentResults(dict):
+    """The merged ``{key: result}`` mapping, plus run provenance.
+
+    ``meta`` records how the results were produced (currently the
+    resolved ``jobs`` count).  It intentionally does not participate in
+    equality: parallel and sequential runs of the same task list compare
+    equal — the determinism contract — even though their job counts
+    differ.
+    """
+
+    def __init__(self, pairs=(), meta=None):
+        super().__init__(pairs)
+        self.meta = dict(meta or {})
+
+    def __reduce__(self):
+        return (self.__class__, (list(self.items()), self.meta))
 
 
 def _normalize(tasks):
@@ -89,13 +124,19 @@ def run_experiments(tasks, jobs=None, cache=None):
     memoizes task results by content key; unchanged tasks are returned
     from the store without simulating.  Results that do not survive a
     JSON round-trip are returned but not cached.
+
+    The returned mapping is an :class:`ExperimentResults`: a plain dict
+    of rows plus a ``meta`` attribute recording the resolved ``jobs``
+    count for reproducibility (the resolved value, not the clamped
+    dispatch width, so warm- and cold-cache runs record the same thing).
     """
     normalized = _normalize(tasks)
     if jobs is None:
         jobs = default_jobs()
+    meta = {"jobs": jobs}
 
     if cache is None:
-        return _run_all(normalized, jobs)
+        return ExperimentResults(_run_all(normalized, jobs), meta=meta)
 
     if isinstance(cache, str):
         from repro.snapshot.cache import RunCache
@@ -119,5 +160,7 @@ def run_experiments(tasks, jobs=None, cache=None):
         if canonical is not None:
             fresh[key] = canonical
 
-    return {key: cached[key] if key in cached else fresh[key]
-            for key, _fn, _args, _kwargs in normalized}
+    return ExperimentResults(
+        ((key, cached[key] if key in cached else fresh[key])
+         for key, _fn, _args, _kwargs in normalized),
+        meta=meta)

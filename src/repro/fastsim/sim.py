@@ -221,11 +221,11 @@ class FastLBP:
                 time + params.local_mem_latency)
             return t_bank + 1 if is_load else t_bank
         if owner == core_index:
-            self.stats.local_accesses += 1
+            self.stats.per_core[core_index].local_accesses += 1
             t_bank = self.shared_local_ports[core_index].reserve(
                 time + params.local_mem_latency)
             return t_bank + 1 if is_load else t_bank
-        self.stats.remote_accesses += 1
+        self.stats.per_core[core_index].remote_accesses += 1
         req, rep = self._route_ports(core_index, owner)
         t = time
         hop = params.link_hop_latency
@@ -371,7 +371,7 @@ class FastLBP:
                 hart.succ = target
                 if ins.rd:
                     regs[ins.rd] = target.gid
-                self.stats.forks += 1
+                self.stats.per_core[hart.core_index].forks += 1
                 self.stats.harts[hart.core_index][hart.index].forks += 1
             elif cls == _C.P_SWCV:
                 target = self.harts[regs[ins.rs1] & 0xFFFF]
@@ -396,7 +396,7 @@ class FastLBP:
                 arrival = slot + hops * params.link_hop_latency
                 index = ins.imm % len(target.re_buffers)
                 target.re_buffers[index].append(arrival_value(arrival, regs[ins.rs2]))
-                self.stats.re_messages += 1
+                self.stats.per_core[hart.core_index].re_messages += 1
                 if target.state == BLOCKED:
                     target.state = RUN
                     target.time = max(target.time, arrival)
@@ -507,13 +507,13 @@ class FastLBP:
         target = self.harts[join_hart(t0)]
         if target is hart:
             # single-member team: resume directly at the join address
-            self.stats.joins += 1
+            self.stats.per_core[hart.core_index].joins += 1
             hart.pc = ra
             hart.time += 1
             return False  # state stays RUN; the outer loop re-enqueues
         hops = abs(hart.core_index - target.core_index) + 1
         arrival = hart.time + hops * self.params.link_hop_latency
-        self.stats.joins += 1
+        self.stats.per_core[hart.core_index].joins += 1
         self._free_hart(hart)
         if target.state == WAITJOIN:
             target.pc = ra

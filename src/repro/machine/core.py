@@ -17,6 +17,7 @@ from repro.isa.semantics import join_hart, p_merge_value, p_set_value
 from repro.isa.spec import InstrClass
 from repro.machine.hart import Hart, ITEntry, ROBEntry
 from repro.machine.memory import CoreMemory
+from repro.machine.router import LinkScheduler
 
 _C = InstrClass
 
@@ -55,6 +56,7 @@ class Core:
 
     __slots__ = (
         "index", "machine", "mem", "harts", "active",
+        "links", "fork_queue", "_seq", "_tag",
         "_rr_fetch", "_rr_rename", "_rr_issue", "_rr_wb", "_rr_commit",
         "_rob_size",
     )
@@ -72,6 +74,19 @@ class Core:
         #: gating flag: False while no hart of this core can do pipeline
         #: work; maintained by Hart.start / the run loop (processor.py)
         self.active = False
+        #: egress link cursors: every path this core *initiates* (requests,
+        #: replies, forward/backward messages) reserves hops here, so link
+        #: scheduling state is domain-local and shard-partitionable
+        self.links = LinkScheduler(params.link_hop_latency)
+        #: pending p_fn hart-allocation requests ((src core, parent gid)
+        #: FIFO) granted as harts of this core free up
+        self.fork_queue = []
+        #: per-domain event sequence — with the core index it forms the
+        #: partition-independent event key (see processor.post)
+        self._seq = 0
+        #: per-domain rename-tag counter (tags only need to be unique
+        #: within a hart's lifetime, so a per-core counter suffices)
+        self._tag = 0
         # rotating-priority pointers, one per stage
         self._rr_fetch = 0
         self._rr_rename = 0
@@ -93,16 +108,24 @@ class Core:
     def state_dict(self):
         return {
             "active": self.active,
+            "seq": self._seq,
+            "tag": self._tag,
             "rr": [self._rr_fetch, self._rr_rename, self._rr_issue,
                    self._rr_wb, self._rr_commit],
+            "links": self.links.state_dict(),
+            "fork_queue": [list(entry) for entry in self.fork_queue],
             "mem": self.mem.state_dict(),
             "harts": [hart.state_dict() for hart in self.harts],
         }
 
     def load_state_dict(self, state):
         self.active = state["active"]
+        self._seq = state["seq"]
+        self._tag = state["tag"]
         (self._rr_fetch, self._rr_rename, self._rr_issue,
          self._rr_wb, self._rr_commit) = state["rr"]
+        self.links.load_state_dict(state["links"])
+        self.fork_queue = [tuple(entry) for entry in state["fork_queue"]]
         self.mem.load_state_dict(state["mem"])
         for hart, hart_state in zip(self.harts, state["harts"]):
             hart.load_state_dict(hart_state)
@@ -188,16 +211,26 @@ class Core:
             self._finish_at(hart, entry, value, now + 1)
         elif cls == _P_MERGE:
             self._finish_at(hart, entry, p_merge_value(vals[0], vals[1]), now + 1)
-        elif cls == _P_FC or cls == _P_FN:
-            target_core = self if cls == _P_FC else machine.core_after(self)
-            target = target_core.alloc_free_hart()
-            target.reserve_for_fork(hart)
+        elif cls == _P_FC:
+            target = self.alloc_free_hart()
+            target.reserve_for_fork(hart.gid)
+            hart.succ = target.gid
             machine.wake_re_waiters(target)
             hart.stats.forks += 1
-            machine.stats.forks += 1
+            machine.stats.per_core[self.index].forks += 1
             machine.trace.record(now, self.index, hart.index, "fork",
                                  "allocate hart %d" % target.gid)
             self._finish_at(hart, entry, target.gid, now + 1)
+        elif cls == _P_FN:
+            # the hart was granted by the next core (fork token protocol,
+            # requested at decode); consume the oldest token
+            target_gid = hart.fork_tokens.pop(0)
+            hart.succ = target_gid
+            hart.stats.forks += 1
+            machine.stats.per_core[self.index].forks += 1
+            machine.trace.record(now, self.index, hart.index, "fork",
+                                 "allocate hart %d" % target_gid)
+            self._finish_at(hart, entry, target_gid, now + 1)
         elif cls == _P_SWCV:
             machine.schedule_cv_write(
                 self, hart, entry, vals[0] & 0xFFFF, low.imm, vals[1])
@@ -273,7 +306,7 @@ class Core:
             hart.end()
         elif kind == "join":
             hart.end()
-            machine.stats.joins += 1
+            machine.stats.per_core[self.index].joins += 1
             if join_gid == hart.gid:
                 # single-member team: the last member is the join hart —
                 # resume directly at the join address
@@ -282,6 +315,14 @@ class Core:
                 machine.send_join(self, hart, join_gid, join_addr)
         else:
             raise AssertionError(kind)
+        # a hart may just have become free: grant the oldest queued p_fn
+        # request (after the restart cases above, so a self-resuming hart
+        # is never stolen)
+        if self.fork_queue:
+            child = self.alloc_free_hart()
+            if child is not None:
+                src_core_index, parent_gid = self.fork_queue.pop(0)
+                machine.grant_fork(self, child, src_core_index, parent_gid)
 
     # ---- per-cycle ---------------------------------------------------------
 
@@ -396,17 +437,10 @@ class Core:
                     elif cls == _P_FC:
                         ready = self.alloc_free_hart() is not None
                     elif cls == _P_FN:
-                        next_core = machine.core_after(self)
-                        if next_core is None:
-                            # teams only expand along the line of cores
-                            # (paper §5.1); a fork past the last core can
-                            # never succeed
-                            machine.error(
-                                "p_fn on the last core (hart %d): "
-                                "no next core to fork on" % hart.gid)
-                            ready = False
-                        else:
-                            ready = next_core.alloc_free_hart() is not None
+                        # issue only once the next core granted a hart
+                        # (request posted at decode; last-core errors are
+                        # raised there)
+                        ready = bool(hart.fork_tokens)
                     elif cls == _P_SYNCM:
                         ready = candidate is it[0] and hart.outstanding_mem == 0
                 if ready:
@@ -452,8 +486,8 @@ class Core:
             self._rr_rename = (h + 1) & 3
             pc, low = fetch_buf
             hart.fetch_buf = None
-            tag = machine._tag + 1
-            machine._tag = tag
+            tag = self._tag + 1
+            self._tag = tag
 
             vals, waits = [], []
             regs = hart.regs
@@ -476,6 +510,8 @@ class Core:
             hart.rob.append(rob_entry)
             if low.writes:
                 rename[low.rd] = tag
+            if low.cls == _P_FN:
+                machine.send_fork_req(self, hart)
 
             # next-pc determination (fetch resumes when it is known)
             cls = low.cls

@@ -100,7 +100,7 @@ class Hart:
         "re_buffers", "re_waiters",
         "outstanding_mem",
         "reserved", "waiting_join", "pending_join",
-        "pred", "pred_done", "succ",
+        "pred", "pred_done", "succ", "fork_tokens",
         "stats",
     )
 
@@ -127,9 +127,14 @@ class Hart:
         self.reserved = False
         self.waiting_join = False
         self.pending_join = None
+        #: team-protocol links are hart gids (ints), never object
+        #: references — the linked hart may live in another shard
         self.pred = None
         self.pred_done = False
         self.succ = None
+        #: gids granted by the next core's fork_req handler, consumed in
+        #: FIFO order when this hart's p_fn instructions issue
+        self.fork_tokens = []
         self.stats = stats
 
     # ---- lifecycle --------------------------------------------------------
@@ -157,15 +162,19 @@ class Hart:
             and self.outstanding_mem == 0
         )
 
-    def reserve_for_fork(self, parent):
-        """Allocation by p_fc/p_fn: reset protocol state, set initial sp."""
+    def reserve_for_fork(self, parent_gid):
+        """Allocation by p_fc/p_fn: reset protocol state, set initial sp.
+
+        The parent's ``succ`` link is set by the *parent's* domain when
+        it consumes the fork result (p_fc execute or the granted token),
+        not here — this side only records its predecessor.
+        """
         self.reserved = True
         self.rename = [None] * 32
         self.regs[2] = memmap.hart_initial_sp(self.index)  # sp
         self.re_buffers = [None] * len(self.re_buffers)
-        self.pred = parent
+        self.pred = parent_gid
         self.pred_done = False
-        parent.succ = self
 
     def start(self, pc, cycle):
         """Begin fetching at *pc* (fork start or join resume).
@@ -236,14 +245,15 @@ class Hart:
             "reserved": self.reserved,
             "waiting_join": self.waiting_join,
             "pending_join": self.pending_join,
-            "pred": None if self.pred is None else self.pred.gid,
+            "pred": self.pred,
             "pred_done": self.pred_done,
-            "succ": None if self.succ is None else self.succ.gid,
+            "succ": self.succ,
+            "fork_tokens": list(self.fork_tokens),
         }
 
     def load_state_dict(self, state):
         machine = self.core.machine
-        lowered = machine.lowered
+        lowered = machine.lowered_at
         self.regs = list(state["regs"])
         self.rename = list(state["rename"])
         self.pc = state["pc"]
@@ -251,12 +261,12 @@ class Hart:
         self.fetch_ready_at = state["fetch_ready_at"]
         self.syncm_block = state["syncm_block"]
         fetch_pc = state["fetch_buf"]
-        self.fetch_buf = None if fetch_pc is None else (fetch_pc, lowered[fetch_pc])
+        self.fetch_buf = None if fetch_pc is None else (fetch_pc, lowered(fetch_pc))
         self.rob = []
         rob_by_tag = {}
         for entry_state in state["rob"]:
             rob_entry = ROBEntry(
-                entry_state["tag"], lowered[entry_state["pc"]], entry_state["pc"])
+                entry_state["tag"], lowered(entry_state["pc"]), entry_state["pc"])
             rob_entry.done = entry_state["done"]
             if entry_state["ret_action"] is not None:
                 rob_entry.ret_action = tuple(entry_state["ret_action"])
@@ -265,7 +275,7 @@ class Hart:
         self.it = []
         for entry_state in state["it"]:
             entry = ITEntry(
-                entry_state["tag"], lowered[entry_state["pc"]],
+                entry_state["tag"], lowered(entry_state["pc"]),
                 entry_state["pc"], list(entry_state["vals"]),
                 list(entry_state["waits"]), rob_by_tag[entry_state["tag"]])
             entry.issued = entry_state["issued"]
@@ -286,11 +296,10 @@ class Hart:
         self.reserved = state["reserved"]
         self.waiting_join = state["waiting_join"]
         self.pending_join = state["pending_join"]
-        self.pred = (
-            None if state["pred"] is None else machine.hart_by_gid(state["pred"]))
+        self.pred = state["pred"]
         self.pred_done = state["pred_done"]
-        self.succ = (
-            None if state["succ"] is None else machine.hart_by_gid(state["succ"]))
+        self.succ = state["succ"]
+        self.fork_tokens = list(state["fork_tokens"])
 
     # ---- rename-side helpers ----------------------------------------------
 

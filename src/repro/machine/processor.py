@@ -1,11 +1,25 @@
 """The LBP machine: cores, interconnect, event queue, simulation loop.
 
-Determinism: the simulation is single-threaded; every queue is ordered by
-(cycle, insertion sequence); stage arbitration uses fixed rotating
-priorities; link and port bandwidth is allocated by monotonic reservation
-cursors.  Two runs of the same program on the same data produce identical
-cycle-by-cycle event traces — the property the paper's claim (1) is about,
-and which `benchmarks/test_determinism.py` checks.
+Determinism: the simulation is single-threaded per domain; every queue is
+ordered by (cycle, origin domain, origin sequence); stage arbitration uses
+fixed rotating priorities; link and port bandwidth is allocated by
+monotonic reservation cursors.  Two runs of the same program on the same
+data produce identical cycle-by-cycle event traces — the property the
+paper's claim (1) is about, and which `benchmarks/test_determinism.py`
+checks.
+
+Partitionability (the space-sharded engine, ``repro.parsim``): every
+piece of mutable state belongs to exactly one *domain* — core *i* owns
+its pipeline, harts, banks, ports, egress link cursors, event-sequence
+and rename-tag counters, and its slice of the statistics and the trace.
+Events are addressed ``(cycle, origin, oseq, dst, kind, args)``: the key
+``(cycle, origin, oseq)`` is unique and computed only from origin-domain
+state, so the merged event order is independent of how domains are
+distributed over worker processes.  Cross-domain interactions travel as
+events with ≥ 2 cycles of latency (the neighbour links, the backward
+line, and the r1/r2/r3 router paths all carry at least one reserved hop
+plus delivery) — the *lookahead* that lets workers simulate 2-cycle
+epochs independently and exchange messages only at epoch barriers.
 """
 
 import heapq
@@ -17,7 +31,6 @@ from repro.machine.lowered import LoweredInstr, lower_program
 from repro.machine.memory import Bank
 from repro.machine.params import Params
 from repro.machine.router import (
-    LinkScheduler,
     backward_links,
     forward_links,
     reply_path,
@@ -25,6 +38,13 @@ from repro.machine.router import (
 )
 from repro.machine.stats import MachineStats
 from repro.machine.trace import Trace
+
+#: p_swre completion acks ride a virtual credit wire back to the sender
+#: (no physical forward path exists for arbitrary core distances)
+RE_ACK_LATENCY = 2
+#: a halt decision (exit/ebreak committed at cycle t) reaches every
+#: domain at t + HALT_LATENCY — never inside the epoch that produced it
+HALT_LATENCY = 2
 
 
 class MachineError(Exception):
@@ -37,11 +57,13 @@ class DeadlockError(MachineError):
 
 # ---- scheduled-event handlers ------------------------------------------------
 #
-# The event queue holds (cycle, seq, kind, args) tuples — *no closures* —
-# so that in-flight events survive snapshot/restore (repro.snapshot): the
-# args of every kind are plain ints/strings/tuples and each handler below
-# re-resolves the objects it touches from those.  Handlers run with the
-# machine as first argument when their cycle is reached.
+# The event queue holds (cycle, origin, oseq, dst, kind, args) tuples —
+# *no closures* — so that in-flight events survive snapshot/restore
+# (repro.snapshot): the args of every kind are plain ints/strings/tuples
+# and each handler below re-resolves the objects it touches from those.
+# Handlers run with the machine as first argument when their cycle is
+# reached, and only ever mutate state of the *dst* domain (plus posts of
+# follow-up events) — the invariant the sharded engine depends on.
 
 
 def _normalize_args(args):
@@ -65,9 +87,12 @@ def _rob_by_tag(hart, tag):
     raise AssertionError("tag %d not in ROB of hart %d" % (tag, hart.gid))
 
 
+# ---- intra-domain kinds (requester-local accesses) ---------------------------
+
+
 def _ev_load_read(machine, bank_ref, addr, width, mnemonic, t_done,
                   core_index, hart_gid):
-    """Bank-side read of an in-flight load; fills the hart's result buffer."""
+    """Bank-side read of a local load; fills the hart's result buffer."""
     hart = machine.hart_by_gid(hart_gid)
     device = machine.mmio.get(addr)
     if device is not None:
@@ -110,6 +135,7 @@ def _ev_store_write(machine, bank_ref, addr, value, width,
 
 def _ev_cv_write(machine, target_core_index, addr, value,
                  core_index, hart_gid, target_gid, offset, tag):
+    """Same-core p_swcv: bank write and sender completion in one event."""
     machine.cores[target_core_index].mem.local.write(addr, value, 4)
     hart = machine.hart_by_gid(hart_gid)
     hart.outstanding_mem -= 1
@@ -118,6 +144,107 @@ def _ev_cv_write(machine, target_core_index, addr, value,
         machine.cycle, core_index, hart.index, "cv_write",
         "hart %d off %d <- 0x%x" % (target_gid, offset, value & 0xFFFFFFFF),
     )
+
+
+# ---- remote shared-memory protocol (request / bank op / reply) ---------------
+
+
+def _ev_rreq_load(machine, src, hart_gid, owner, addr, width, mnemonic):
+    """A load request arrives at the owning core's router port."""
+    owner_core = machine.cores[owner]
+    t_bank = owner_core.mem.shared_router_port.reserve(
+        machine.cycle + machine.params.bank_access_latency)
+    t_back = owner_core.links.reserve_path(reply_path(src, owner), t_bank)
+    machine.post(owner, t_bank, "bank_read",
+                 (src, hart_gid, owner, addr, width, mnemonic, t_back + 1))
+
+
+def _ev_bank_read(machine, src, hart_gid, owner, addr, width, mnemonic,
+                  t_done):
+    device = machine.mmio.get(addr)
+    if device is not None:
+        raw = device.read(machine.cycle) & 0xFFFFFFFF
+    else:
+        try:
+            raw = machine.cores[owner].mem.shared.read(addr, width)
+        except IndexError as exc:
+            machine.error(str(exc))
+            raw = 0
+    machine.post(src, t_done, "rrep_load",
+                 (src, hart_gid, addr, load_value(mnemonic, raw)))
+
+
+def _ev_rrep_load(machine, src, hart_gid, addr, value):
+    hart = machine.hart_by_gid(hart_gid)
+    hart.rb.fill(value, machine.cycle)
+    hart.outstanding_mem -= 1
+    machine.trace.record(
+        machine.cycle, src, hart.index, "mem_load",
+        "addr 0x%x -> 0x%x" % (addr, hart.rb.value),
+    )
+
+
+def _ev_rreq_store(machine, src, hart_gid, owner, addr, value, width, tag):
+    owner_core = machine.cores[owner]
+    t_bank = owner_core.mem.shared_router_port.reserve(
+        machine.cycle + machine.params.bank_access_latency)
+    t_ack = owner_core.links.reserve_path(reply_path(src, owner), t_bank) + 1
+    machine.post(owner, t_bank, "bank_write", (owner, addr, value, width))
+    machine.post(src, t_ack, "rack_store", (src, hart_gid, addr, value, tag))
+
+
+def _ev_bank_write(machine, owner, addr, value, width):
+    device = machine.mmio.get(addr)
+    if device is not None:
+        device.write(machine.cycle, value & 0xFFFFFFFF)
+        return
+    try:
+        machine.cores[owner].mem.shared.write(addr, value, width)
+    except IndexError as exc:
+        machine.error(str(exc))
+
+
+def _ev_rack_store(machine, src, hart_gid, addr, value, tag):
+    hart = machine.hart_by_gid(hart_gid)
+    hart.outstanding_mem -= 1
+    _rob_by_tag(hart, tag).done = True
+    machine.trace.record(
+        machine.cycle, src, hart.index, "mem_store",
+        "addr 0x%x <- 0x%x" % (addr, value & 0xFFFFFFFF),
+    )
+
+
+# ---- cross-core continuation-value writes (p_swcv over the forward link) -----
+
+
+def _ev_rreq_cv(machine, src, hart_gid, target_gid, offset, value, tag):
+    hpc = machine.params.harts_per_core
+    target_core = machine.cores[target_gid // hpc]
+    t_bank = target_core.mem.local_port.reserve(machine.cycle)
+    addr = memmap.hart_cv_base(target_gid % hpc) + offset
+    machine.post(target_core.index, t_bank, "cv_apply",
+                 (target_core.index, addr, value))
+    t_ack = target_core.links.reserve_path(
+        backward_links(target_core.index, src), t_bank) + 1
+    machine.post(src, t_ack, "rack_cv",
+                 (src, hart_gid, target_gid, offset, value, tag))
+
+
+def _ev_cv_apply(machine, core_index, addr, value):
+    machine.cores[core_index].mem.local.write(addr, value, 4)
+
+
+def _ev_rack_cv(machine, src, hart_gid, target_gid, offset, value, tag):
+    hart = machine.hart_by_gid(hart_gid)
+    hart.outstanding_mem -= 1
+    _rob_by_tag(hart, tag).done = True
+    machine.trace.record(
+        machine.cycle, src, hart.index, "cv_write",
+        "hart %d off %d <- 0x%x" % (target_gid, offset, value & 0xFFFFFFFF),
+    )
+
+
+# ---- backward-line result messages (p_swre) ----------------------------------
 
 
 def _ev_re_deliver(machine, core_index, hart_gid, target_gid, slot, value,
@@ -135,13 +262,39 @@ def _ev_re_deliver(machine, core_index, hart_gid, target_gid, slot, value,
             waiters.append(desc)
         return
     target.re_buffers[slot] = value & 0xFFFFFFFF
+    machine.post(core_index, machine.cycle + RE_ACK_LATENCY, "re_ack",
+                 (core_index, hart_gid, target_gid, slot, value, tag))
+
+
+def _ev_re_ack(machine, core_index, hart_gid, target_gid, slot, value, tag):
     hart = machine.hart_by_gid(hart_gid)
     _rob_by_tag(hart, tag).done = True
-    machine.stats.re_messages += 1
+    machine.stats.per_core[core_index].re_messages += 1
     machine.trace.record(
         machine.cycle, core_index, hart.index, "re_send",
         "hart %d buf %d <- 0x%x" % (target_gid, slot, value & 0xFFFFFFFF),
     )
+
+
+# ---- fork token protocol (p_fn over the forward link) ------------------------
+
+
+def _ev_fork_req(machine, target_core_index, src_core_index, parent_gid):
+    """A p_fn hart-allocation request arrives at the next core."""
+    core = machine.cores[target_core_index]
+    if not core.fork_queue:
+        child = core.alloc_free_hart()
+        if child is not None:
+            machine.grant_fork(core, child, src_core_index, parent_gid)
+            return
+    core.fork_queue.append((src_core_index, parent_gid))
+
+
+def _ev_fork_grant(machine, parent_gid, child_gid):
+    machine.hart_by_gid(parent_gid).fork_tokens.append(child_gid)
+
+
+# ---- team lifecycle messages -------------------------------------------------
 
 
 def _ev_start_pc(machine, target_gid, pc):
@@ -159,10 +312,13 @@ def _ev_start_pc(machine, target_gid, pc):
 
 
 def _ev_ending_signal(machine, core_index, hart_index, succ_gid):
-    machine.hart_by_gid(succ_gid).pred_done = True
+    succ = machine.hart_by_gid(succ_gid)
+    succ.pred_done = True
+    # the line names the *sender* core but is recorded by the receiving
+    # domain — the explicit domain keeps shard buffers disjoint
     machine.trace.record(
         machine.cycle, core_index, hart_index, "ending_signal",
-        "to hart %d" % succ_gid,
+        "to hart %d" % succ_gid, domain=succ.core.index,
     )
 
 
@@ -185,7 +341,19 @@ EVENT_HANDLERS = {
     "load_done": _ev_load_done,
     "store_write": _ev_store_write,
     "cv_write": _ev_cv_write,
+    "rreq_load": _ev_rreq_load,
+    "bank_read": _ev_bank_read,
+    "rrep_load": _ev_rrep_load,
+    "rreq_store": _ev_rreq_store,
+    "bank_write": _ev_bank_write,
+    "rack_store": _ev_rack_store,
+    "rreq_cv": _ev_rreq_cv,
+    "cv_apply": _ev_cv_apply,
+    "rack_cv": _ev_rack_cv,
     "re_deliver": _ev_re_deliver,
+    "re_ack": _ev_re_ack,
+    "fork_req": _ev_fork_req,
+    "fork_grant": _ev_fork_grant,
     "start_pc": _ev_start_pc,
     "ending_signal": _ev_ending_signal,
     "join": _ev_join,
@@ -193,9 +361,21 @@ EVENT_HANDLERS = {
 
 
 class LBP:
-    """One simulated LBP processor instance."""
+    """One simulated LBP processor instance.
 
-    def __init__(self, params=None, trace=None):
+    ``LBP(params, shards=N)`` with N > 1 constructs the space-sharded
+    engine (:class:`repro.parsim.ShardedLBP`) instead — same program
+    interface, bit-identical results, N worker processes.
+    """
+
+    def __new__(cls, params=None, trace=None, shards=None):
+        if cls is LBP and shards is not None and shards != 1:
+            from repro.parsim import ShardedLBP
+
+            return ShardedLBP(params, trace=trace, shards=shards)
+        return super().__new__(cls)
+
+    def __init__(self, params=None, trace=None, shards=None):
         self.params = params or Params()
         self.stats = MachineStats(self.params.num_cores, self.params.harts_per_core)
         # explicit None test: an empty Trace is falsy (len() == 0)
@@ -205,7 +385,6 @@ class LBP:
         #: lockstep with the flags by Core.activate and the run loop
         self._num_active = 0
         self.cores = [Core(i, self) for i in range(self.params.num_cores)]
-        self.links = LinkScheduler(self.params.link_hop_latency)
         self.code = {}
         #: {pc: LoweredInstr} built at load time (machine/lowered.py)
         self.lowered = {}
@@ -214,10 +393,18 @@ class LBP:
         self.cycle = 0
         self.halted = False
         self.halt_reason = None
+        self._halt_at = None
+        self._halt_key = None
         self._events = []
-        self._seq = 0
-        self._tag = 0
         self._error = None
+        self._error_key = None
+        #: domain currently executing (event handler's dst, or the core
+        #: being ticked) — the origin stamped on posted events
+        self._origin = 0
+        #: sharded-engine hooks: when _owned is a set, posts to other
+        #: domains are diverted to _outbox instead of the local heap
+        self._owned = None
+        self._outbox = []
         self.program = None
 
     # ---- construction ------------------------------------------------------
@@ -260,15 +447,15 @@ class LBP:
             "cycle": self.cycle,
             "halted": self.halted,
             "halt_reason": self.halt_reason,
-            "seq": self._seq,
-            "tag": self._tag,
+            "halt_at": self._halt_at,
+            "halt_key": None if self._halt_key is None else list(self._halt_key),
             "error": self._error,
+            "error_key": None if self._error_key is None else list(self._error_key),
             "events": [
-                [cycle, seq, kind, list(args)]
-                for cycle, seq, kind, args in sorted(self._events)
+                [cycle, origin, oseq, dst, kind, list(args)]
+                for cycle, origin, oseq, dst, kind, args in sorted(self._events)
             ],
             "code_bank": self.code_bank.state_dict(),
-            "links": self.links.state_dict(),
             "stats": self.stats.state_dict(),
             "trace": self.trace.state_dict(),
             "cores": [core.state_dict() for core in self.cores],
@@ -280,34 +467,64 @@ class LBP:
         self.cycle = state["cycle"]
         self.halted = state["halted"]
         self.halt_reason = state["halt_reason"]
-        self._seq = state["seq"]
-        self._tag = state["tag"]
+        self._halt_at = state["halt_at"]
+        self._halt_key = (
+            None if state["halt_key"] is None else tuple(state["halt_key"]))
         self._error = state["error"]
+        self._error_key = (
+            None if state["error_key"] is None else tuple(state["error_key"]))
         self._events = [
-            (cycle, seq, kind, _normalize_args(args))
-            for cycle, seq, kind, args in state["events"]
+            (cycle, origin, oseq, dst, kind, _normalize_args(args))
+            for cycle, origin, oseq, dst, kind, args in state["events"]
         ]
         heapq.heapify(self._events)
-        for cycle, seq, kind, args in self._events:
-            if kind not in EVENT_HANDLERS:
-                raise ValueError("unknown event kind %r in snapshot" % (kind,))
+        for event in self._events:
+            if event[4] not in EVENT_HANDLERS:
+                raise ValueError(
+                    "unknown event kind %r in snapshot" % (event[4],))
         self.code_bank.load_state_dict(state["code_bank"])
-        self.links.load_state_dict(state["links"])
         self.stats.load_state_dict(state["stats"])
         self.trace.load_state_dict(state["trace"])
         for core, core_state in zip(self.cores, state["cores"]):
             core.load_state_dict(core_state)
         self._num_active = sum(1 for core in self.cores if core.active)
 
-    # ---- small services used by cores ---------------------------------------
+    def core_state_dict(self, index):
+        """One domain's full slice: core + stats counters + trace buffer +
+        pending events addressed to it (shard gathering)."""
+        return {
+            "core": self.cores[index].state_dict(),
+            "stats": self.stats.core_state_dict(index),
+            "trace": self.trace.domain_state_dict(index),
+            "events": [
+                [cycle, origin, oseq, dst, kind, list(args)]
+                for cycle, origin, oseq, dst, kind, args in sorted(self._events)
+                if dst == index
+            ],
+        }
 
-    def next_tag(self):
-        self._tag += 1
-        return self._tag
+    def load_core_state_dict(self, index, state):
+        self.cores[index].load_state_dict(state["core"])
+        self.stats.load_core_state_dict(index, state["stats"])
+        self.trace.load_domain_state_dict(index, state["trace"])
+        self._events = [
+            event for event in self._events if event[3] != index
+        ]
+        self._events.extend(
+            (cycle, origin, oseq, dst, kind, _normalize_args(args))
+            for cycle, origin, oseq, dst, kind, args in state["events"]
+        )
+        heapq.heapify(self._events)
+        self._num_active = sum(1 for core in self.cores if core.active)
+
+    # ---- small services used by cores ---------------------------------------
 
     def core_after(self, core):
         index = core.index + 1
         return self.cores[index] if index < len(self.cores) else None
+
+    def core_index_of(self, gid):
+        return gid // self.params.harts_per_core
 
     def hart_by_gid(self, gid):
         core_index, hart_index = divmod(gid, self.params.harts_per_core)
@@ -316,18 +533,44 @@ class LBP:
             return self.cores[0].harts[0]
         return self.cores[core_index].harts[hart_index]
 
-    def schedule(self, cycle, kind, args):
-        """Enqueue event *kind* (see EVENT_HANDLERS) with serializable *args*."""
-        self._seq += 1
-        heapq.heappush(self._events, (cycle, self._seq, kind, args))
+    def _valid_gid(self, gid):
+        if gid // self.params.harts_per_core >= len(self.cores):
+            self.error("hart id %d does not exist" % gid)
+            return False
+        return True
+
+    def post(self, dst, cycle, kind, args):
+        """Enqueue event *kind* for domain *dst* (see EVENT_HANDLERS).
+
+        The key (cycle, origin, oseq) is computed from the posting
+        domain's own counter, so it is identical no matter which worker
+        process runs the origin domain.
+        """
+        core = self.cores[self._origin]
+        core._seq += 1
+        event = (cycle, core.index, core._seq, dst, kind, args)
+        if self._owned is not None and dst not in self._owned:
+            self._outbox.append(event)
+        else:
+            heapq.heappush(self._events, event)
 
     def halt(self, reason):
-        self.halted = True
-        self.halt_reason = reason
-        self.stats.cycles = self.cycle + 1
+        """Commit-side exit/ebreak: the machine stops HALT_LATENCY later.
+
+        The delay gives every domain (in any sharding) the same final
+        cycle; the first call wins, which equals the minimum
+        (cycle, domain) since commits are visited in that order.
+        """
+        key = (self.cycle + HALT_LATENCY, self._origin)
+        if self._halt_key is None or key < self._halt_key:
+            self._halt_key = key
+            self._halt_at = key[0]
+            self.halt_reason = reason
 
     def error(self, message):
-        if self._error is None:
+        key = (self.cycle, self._origin)
+        if self._error_key is None or key < self._error_key:
+            self._error_key = key
             self._error = "cycle %d: %s" % (self.cycle, message)
 
     def fetch_instruction(self, pc, hart):
@@ -336,6 +579,18 @@ class LBP:
             self.error(
                 "hart %d fetches from non-code address 0x%x" % (hart.gid, pc)
             )
+            low = self.lowered_at(pc)
+        return low
+
+    def lowered_at(self, pc):
+        """The lowered instruction at *pc*, or the fault-path ebreak.
+
+        The fallback mirrors :meth:`fetch_instruction` without recording
+        an error — state restore uses it to rebuild pipeline entries that
+        were fetched from a non-code address (the machine is already on
+        its way to a MachineError when that state exists)."""
+        low = self.lowered.get(pc)
+        if low is None:
             from repro.isa.instruction import Instruction
             from repro.isa.spec import INSTR_SPECS
 
@@ -348,62 +603,89 @@ class LBP:
 
     # ---- memory accesses -----------------------------------------------------
 
-    def _route_access(self, core, addr):
-        """(bank, bank_ref, t_bank, t_done, remote) for one access.
-
-        *bank_ref* is the serializable ('local'|'shared'|'code', core)
-        name of the bank, used by the event-queue handlers.
-        """
+    def schedule_load(self, core, hart, entry, low, addr):
+        width = low.width
         now = self.cycle
         params = self.params
         if memmap.is_local(addr):
-            port = core.mem.local_port
-            t_bank = port.reserve(now + params.local_mem_latency)
-            return core.mem.local, ("local", core.index), t_bank, t_bank + 1, False
-        if memmap.is_code(addr):
-            return self.code_bank, ("code", 0), now + params.local_mem_latency, \
-                now + params.local_mem_latency + 1, False
-        owner = memmap.owner_core_of(addr, params.num_cores)
-        if owner is None:
-            self.error("access to unmapped address 0x%x" % addr)
-            owner = core.index
-        if owner == core.index:
-            port = core.mem.shared_local_port
-            t_bank = port.reserve(now + params.local_mem_latency)
-            self.stats.local_accesses += 1
-            return core.mem.shared, ("shared", owner), t_bank, t_bank + 1, False
-        self.stats.remote_accesses += 1
-        t_up = self.links.reserve_path(request_path(core.index, owner), now)
-        owner_core = self.cores[owner]
-        t_bank = owner_core.mem.shared_router_port.reserve(
-            t_up + params.bank_access_latency
-        )
-        t_back = self.links.reserve_path(reply_path(core.index, owner), t_bank)
-        return owner_core.mem.shared, ("shared", owner), t_bank, t_back + 1, True
-
-    def schedule_load(self, core, hart, entry, low, addr):
-        width = low.width
-        bank, bank_ref, t_bank, t_done, remote = self._route_access(core, addr)
+            t_bank = core.mem.local_port.reserve(now + params.local_mem_latency)
+            bank, bank_ref = core.mem.local, ("local", core.index)
+            remote = False
+        elif memmap.is_code(addr):
+            t_bank = now + params.local_mem_latency
+            bank, bank_ref = self.code_bank, ("code", 0)
+            remote = False
+        else:
+            owner = memmap.owner_core_of(addr, params.num_cores)
+            if owner is None:
+                self.error("access to unmapped address 0x%x" % addr)
+                owner = core.index
+            if owner == core.index:
+                t_bank = core.mem.shared_local_port.reserve(
+                    now + params.local_mem_latency)
+                bank, bank_ref = core.mem.shared, ("shared", owner)
+                self.stats.per_core[core.index].local_accesses += 1
+                remote = False
+            else:
+                bank = self.cores[owner].mem.shared
+                self.stats.per_core[core.index].remote_accesses += 1
+                remote = True
         hart.rb.occupy(entry.tag, low.rd, entry.rob)
         hart.outstanding_mem += 1
         self.trace.record(
-            self.cycle, core.index, hart.index, "mem_load_req",
+            now, core.index, hart.index, "mem_load_req",
             "addr 0x%x bank %s" % (addr, bank.name),
         )
-        self.schedule(t_bank, "load_read",
+        if remote:
+            t_up = core.links.reserve_path(request_path(core.index, owner), now)
+            self.post(owner, t_up, "rreq_load",
+                      (core.index, hart.gid, owner, addr, width, low.mnemonic))
+        else:
+            t_done = t_bank + 1
+            self.post(core.index, t_bank, "load_read",
                       (bank_ref, addr, width, low.mnemonic, t_done,
                        core.index, hart.gid))
-        self.schedule(t_done, "load_done", (hart.gid,))
+            self.post(core.index, t_done, "load_done", (hart.gid,))
 
     def schedule_store(self, core, hart, entry, low, addr, value):
         width = low.width
-        bank, bank_ref, t_bank, _t_done, remote = self._route_access(core, addr)
+        now = self.cycle
+        params = self.params
+        if memmap.is_local(addr):
+            t_bank = core.mem.local_port.reserve(now + params.local_mem_latency)
+            bank, bank_ref = core.mem.local, ("local", core.index)
+            remote = False
+        elif memmap.is_code(addr):
+            t_bank = now + params.local_mem_latency
+            bank, bank_ref = self.code_bank, ("code", 0)
+            remote = False
+        else:
+            owner = memmap.owner_core_of(addr, params.num_cores)
+            if owner is None:
+                self.error("access to unmapped address 0x%x" % addr)
+                owner = core.index
+            if owner == core.index:
+                t_bank = core.mem.shared_local_port.reserve(
+                    now + params.local_mem_latency)
+                bank, bank_ref = core.mem.shared, ("shared", owner)
+                self.stats.per_core[core.index].local_accesses += 1
+                remote = False
+            else:
+                bank = self.cores[owner].mem.shared
+                self.stats.per_core[core.index].remote_accesses += 1
+                remote = True
         hart.outstanding_mem += 1
         self.trace.record(
-            self.cycle, core.index, hart.index, "mem_store_req",
+            now, core.index, hart.index, "mem_store_req",
             "addr 0x%x bank %s" % (addr, bank.name),
         )
-        self.schedule(t_bank, "store_write",
+        if remote:
+            t_up = core.links.reserve_path(request_path(core.index, owner), now)
+            self.post(owner, t_up, "rreq_store",
+                      (core.index, hart.gid, owner, addr, value, width,
+                       entry.tag))
+        else:
+            self.post(core.index, t_bank, "store_write",
                       (bank_ref, addr, value, width,
                        core.index, hart.gid, entry.tag))
 
@@ -411,94 +693,139 @@ class LBP:
 
     def schedule_cv_write(self, core, hart, entry, target_gid, offset, value):
         """p_swcv: write into the allocated hart's CV area (forward link)."""
-        target = self.hart_by_gid(target_gid)
-        target_core = target.core
-        try:
-            links = forward_links(core.index, target_core.index)
-        except ValueError as exc:
-            self.error(str(exc))
-            links = []
+        if not self._valid_gid(target_gid):
+            return
+        target_core_index = target_gid // self.params.harts_per_core
         now = self.cycle
-        t_link = self.links.reserve_path(links, now) if links else now
-        t_bank = target_core.mem.local_port.reserve(
-            t_link + self.params.cv_write_latency
-        )
-        addr = memmap.hart_cv_base(target.index) + offset
-        hart.outstanding_mem += 1
-        self.schedule(t_bank, "cv_write",
-                      (target_core.index, addr, value,
+        if target_core_index == core.index:
+            t_bank = core.mem.local_port.reserve(
+                now + self.params.cv_write_latency)
+            addr = memmap.hart_cv_base(
+                target_gid % self.params.harts_per_core) + offset
+            hart.outstanding_mem += 1
+            self.post(core.index, t_bank, "cv_write",
+                      (core.index, addr, value,
                        core.index, hart.gid, target_gid, offset, entry.tag))
+        elif target_core_index == core.index + 1:
+            t_link = core.links.reserve_path(
+                forward_links(core.index, target_core_index), now)
+            hart.outstanding_mem += 1
+            self.post(target_core_index,
+                      t_link + self.params.cv_write_latency, "rreq_cv",
+                      (core.index, hart.gid, target_gid, offset, value,
+                       entry.tag))
+        else:
+            self.error(
+                "forward link only reaches the next core (%d -> %d)"
+                % (core.index, target_core_index))
 
     def schedule_re_send(self, core, hart, entry, target_gid, index, value):
         """p_swre: send a result backward to a prior hart's result buffer.
 
         Flow control: a delivery that finds the slot occupied *parks* in
         the target hart's per-slot waiter queue and is re-scheduled when
-        the consumer drains the slot (:meth:`wake_re_waiters`) — instead
-        of the former busy-retry that re-enqueued itself every cycle.
+        the consumer drains the slot (:meth:`wake_re_waiters`).  The
+        sender's p_swre completes when the delivery ack returns.
         """
-        target = self.hart_by_gid(target_gid)
-        if target.core.index > core.index:
+        if not self._valid_gid(target_gid):
+            return
+        target_core_index = target_gid // self.params.harts_per_core
+        if target_core_index > core.index:
             self.error(
                 "p_swre from hart %d to a later core (hart %d)"
                 % (hart.gid, target_gid)
             )
             return
-        links = backward_links(core.index, target.core.index)
-        t_arrive = self.links.reserve_path(links, self.cycle) + 1
-        slot = index % len(target.re_buffers)
-        self.schedule(t_arrive, "re_deliver",
-                      (core.index, hart.gid, target_gid, slot, value,
-                       entry.tag, False))
+        links = backward_links(core.index, target_core_index)
+        t_arrive = core.links.reserve_path(links, self.cycle) + 1
+        slot = index % self.params.num_result_buffers
+        self.post(target_core_index, t_arrive, "re_deliver",
+                  (core.index, hart.gid, target_gid, slot, value,
+                   entry.tag, False))
 
     def wake_re_waiters(self, target, slot=None):
         """Re-schedule the oldest parked p_swre delivery for a drained slot.
 
         Called by the consumer side (p_lwre execute) with the drained
         *slot*, and on hart re-allocation (reserve_for_fork resets every
-        slot) with ``slot=None``.  The woken delivery runs in the next
-        cycle's event phase — the same cycle the old busy-retry would
-        have succeeded on.
+        slot) with ``slot=None`` — both run in the target's own domain.
         """
         slots = range(len(target.re_waiters)) if slot is None else (slot,)
         for index in slots:
             waiters = target.re_waiters[index]
             if waiters:
                 desc = waiters.pop(0)
-                self.schedule(self.cycle + 1, "re_deliver",
-                              tuple(desc) + (True,))
+                self.post(target.core.index, self.cycle + 1, "re_deliver",
+                          tuple(desc) + (True,))
+
+    # ---- fork token protocol ---------------------------------------------------
+
+    def send_fork_req(self, core, hart):
+        """p_fn at decode: ask the next core for a hart (token on grant)."""
+        target = self.core_after(core)
+        if target is None:
+            # teams only expand along the line of cores (paper §5.1); a
+            # fork past the last core can never succeed
+            self.error(
+                "p_fn on the last core (hart %d): "
+                "no next core to fork on" % hart.gid)
+            return
+        t = core.links.reserve_path(
+            forward_links(core.index, target.index), self.cycle)
+        self.post(target.index, t + 1, "fork_req",
+                  (target.index, core.index, hart.gid))
+
+    def grant_fork(self, core, child, src_core_index, parent_gid):
+        """Allocate *child* on *core* for the requesting parent hart."""
+        child.reserve_for_fork(parent_gid)
+        self.wake_re_waiters(child)
+        t = core.links.reserve_path(
+            backward_links(core.index, src_core_index), self.cycle) + 1
+        self.post(src_core_index, t, "fork_grant", (parent_gid, child.gid))
+
+    # ---- team lifecycle messages ----------------------------------------------
 
     def send_start_pc(self, core, hart, target_gid, pc):
         """p_jal/p_jalr: start the allocated hart at *pc* (forward link)."""
-        target = self.hart_by_gid(target_gid)
-        try:
-            links = forward_links(core.index, target.core.index)
-        except ValueError as exc:
-            self.error(str(exc))
+        if not self._valid_gid(target_gid):
             return
-        t = self.links.reserve_path(links, self.cycle) if links else self.cycle
-        self.schedule(t + 1, "start_pc", (target_gid, pc))
+        target_core_index = target_gid // self.params.harts_per_core
+        if target_core_index == core.index:
+            links = []
+        elif target_core_index == core.index + 1:
+            links = forward_links(core.index, target_core_index)
+        else:
+            self.error(
+                "forward link only reaches the next core (%d -> %d)"
+                % (core.index, target_core_index))
+            return
+        t = core.links.reserve_path(links, self.cycle) if links else self.cycle
+        self.post(target_core_index, t + 1, "start_pc", (target_gid, pc))
 
-    def send_ending_signal(self, core, hart, succ):
+    def send_ending_signal(self, core, hart, succ_gid):
         """The ordered-release chain between team members."""
-        if succ.core.index == core.index:
+        succ_core_index = succ_gid // self.params.harts_per_core
+        if succ_core_index == core.index:
             links = []
         else:
-            links = forward_links(core.index, succ.core.index)
-        t = self.links.reserve_path(links, self.cycle) if links else self.cycle
-        self.schedule(t + 1, "ending_signal", (core.index, hart.index, succ.gid))
+            links = forward_links(core.index, succ_core_index)
+        t = core.links.reserve_path(links, self.cycle) if links else self.cycle
+        self.post(succ_core_index, t + 1, "ending_signal",
+                  (core.index, hart.index, succ_gid))
 
     def send_join(self, core, hart, join_gid, addr):
         """p_ret case 4: the join address travels the backward line."""
-        target = self.hart_by_gid(join_gid)
-        if target.core.index > core.index:
+        if not self._valid_gid(join_gid):
+            return
+        target_core_index = join_gid // self.params.harts_per_core
+        if target_core_index > core.index:
             self.error(
                 "join from hart %d to a later core (hart %d)" % (hart.gid, join_gid)
             )
             return
-        links = backward_links(core.index, target.core.index)
-        t = self.links.reserve_path(links, self.cycle) + 1
-        self.schedule(t, "join", (join_gid, addr))
+        links = backward_links(core.index, target_core_index)
+        t = core.links.reserve_path(links, self.cycle) + 1
+        self.post(target_core_index, t, "join", (join_gid, addr))
 
     # ---- the simulation loop ---------------------------------------------------
 
@@ -521,8 +848,8 @@ class LBP:
         limit = max_cycles if max_cycles is not None else self.params.max_cycles
         events = self._events
         cores = self.cores
-        num_cores = len(cores)
         stats = self.stats
+        per_core = stats.per_core
         heappop = heapq.heappop
         handlers = EVENT_HANDLERS
         progress_mark = (0, 0)
@@ -532,6 +859,11 @@ class LBP:
         if snapshot_every is not None and snapshot_callback is not None:
             next_snapshot = cycle + snapshot_every
         while not self.halted:
+            if self._halt_at is not None and cycle >= self._halt_at:
+                # machine.cycle stays the last *simulated* cycle index
+                self.cycle = self._halt_at - 1
+                self.halted = True
+                break
             if stop_at_cycle is not None and cycle >= stop_at_cycle:
                 self.cycle = cycle
                 stats.cycles = max(stats.cycles, cycle)
@@ -541,10 +873,11 @@ class LBP:
                 snapshot_callback(self)
                 next_snapshot = cycle + snapshot_every
             if cycle >= next_progress_check:
-                snapshot = (stats.retired, self._seq)
-                if snapshot == progress_mark and not events:
+                mark = (stats.retired, sum(core._seq for core in cores))
+                if (mark == progress_mark and not events
+                        and self._halt_at is None):
                     raise DeadlockError(self._deadlock_dump())
-                progress_mark = snapshot
+                progress_mark = mark
                 next_progress_check = cycle + 4096
             if cycle > limit:
                 raise MachineError(
@@ -552,39 +885,45 @@ class LBP:
                 )
             while events and events[0][0] <= cycle:
                 event = heappop(events)
-                handlers[event[2]](self, *event[3])
-            if self.halted:
-                break
+                self._origin = event[3]
+                handlers[event[4]](self, *event[5])
             # active-core gating: only cores with runnable pipeline work
             # tick; wakeups (Hart.start) re-set the flag, and iteration
             # stays in fixed core-index order so arbitration, event seqs
-            # and traces are identical to the ungated loop.
-            ticked = self._num_active
+            # and traces are identical to the ungated loop.  Idle cycles
+            # are charged to each gated-off core so the totals do not
+            # depend on sharding.
             for core in cores:
                 if core.active:
+                    self._origin = core.index
                     if not core.tick():
                         core.active = False
                         self._num_active -= 1
-            stats.skipped_core_cycles += num_cores - ticked
+                else:
+                    per_core[core.index].skipped_cycles += 1
             if self._error is not None:
                 raise MachineError(self._error)
-            if self.halted:
-                break
             cycle += 1
             if self._num_active == 0:
                 # every core is quiescent: fast-forward to the next event
-                # (in-flight memory/protocol traffic), or report deadlock
-                if events:
-                    next_cycle = events[0][0]
-                    if next_cycle > cycle:
-                        stats.skipped_core_cycles += (
-                            (next_cycle - cycle) * num_cores)
-                        cycle = next_cycle
-                else:
+                # (in-flight traffic) or the pending halt, else deadlock
+                target = events[0][0] if events else None
+                if self._halt_at is not None and (
+                        target is None or self._halt_at < target):
+                    target = self._halt_at
+                if target is None:
                     raise DeadlockError(self._deadlock_dump())
+                if target > cycle:
+                    delta = target - cycle
+                    for counters in per_core:
+                        counters.skipped_cycles += delta
+                    cycle = target
             self.cycle = cycle
-        self.stats.cycles = max(self.stats.cycles, self.cycle)
-        return self.stats
+        if self._halt_at is not None:
+            stats.cycles = max(stats.cycles, self._halt_at)
+        else:
+            stats.cycles = max(stats.cycles, self.cycle)
+        return stats
 
     def _deadlock_dump(self):
         lines = ["deadlock at cycle %d:" % self.cycle]

@@ -4,6 +4,13 @@ The paper's histograms (figs. 19-21) report, per run: number of cycles,
 aggregate IPC, and retired instructions.  :class:`MachineStats` collects
 those plus the supporting detail (per-hart retirement, local vs remote
 memory accesses, forks/joins) used by the locality experiment E7.
+
+Layout: every counter that simulation code *increments* lives in a
+per-core :class:`CoreCounters` (or per-hart :class:`HartStats`) slot, and
+the machine-wide figures are read-only aggregation properties.  This is
+what makes the space-sharded engine (``repro.parsim``) exact: a worker
+process owns a contiguous range of cores and only ever touches its own
+slots, so gathering shard statistics is concatenation, not reconciliation.
 """
 
 
@@ -27,6 +34,41 @@ class HartStats:
         self.forks = state["forks"]
 
 
+class CoreCounters:
+    """Per-core slice of the machine-wide counters (shard-partitionable)."""
+
+    __slots__ = ("local_accesses", "remote_accesses", "forks", "joins",
+                 "re_messages", "skipped_cycles")
+
+    def __init__(self):
+        self.local_accesses = 0
+        self.remote_accesses = 0
+        self.forks = 0
+        self.joins = 0
+        self.re_messages = 0
+        #: cycles this core sat idle (gated off by the run loop); counted
+        #: per core so the total is independent of how cores are sharded
+        self.skipped_cycles = 0
+
+    def state_dict(self):
+        return {
+            "local_accesses": self.local_accesses,
+            "remote_accesses": self.remote_accesses,
+            "forks": self.forks,
+            "joins": self.joins,
+            "re_messages": self.re_messages,
+            "skipped_cycles": self.skipped_cycles,
+        }
+
+    def load_state_dict(self, state):
+        self.local_accesses = state["local_accesses"]
+        self.remote_accesses = state["remote_accesses"]
+        self.forks = state["forks"]
+        self.joins = state["joins"]
+        self.re_messages = state["re_messages"]
+        self.skipped_cycles = state["skipped_cycles"]
+
+
 class MachineStats:
     """Aggregated counters for one simulation run."""
 
@@ -37,38 +79,60 @@ class MachineStats:
         self.harts = [
             [HartStats() for _ in range(harts_per_core)] for _ in range(num_cores)
         ]
-        self.local_accesses = 0
-        self.remote_accesses = 0
-        self.forks = 0
-        self.joins = 0
-        self.re_messages = 0
-        #: core-cycles the run loop did not tick thanks to active-core
-        #: gating (idle cores awaiting a wakeup, plus all-idle jumps)
-        self.skipped_core_cycles = 0
+        self.per_core = [CoreCounters() for _ in range(num_cores)]
 
     def state_dict(self):
         return {
             "cycles": self.cycles,
-            "local_accesses": self.local_accesses,
-            "remote_accesses": self.remote_accesses,
-            "forks": self.forks,
-            "joins": self.joins,
-            "re_messages": self.re_messages,
-            "skipped_core_cycles": self.skipped_core_cycles,
+            "per_core": [c.state_dict() for c in self.per_core],
             "harts": [[h.state_dict() for h in core] for core in self.harts],
         }
 
     def load_state_dict(self, state):
         self.cycles = state["cycles"]
-        self.local_accesses = state["local_accesses"]
-        self.remote_accesses = state["remote_accesses"]
-        self.forks = state["forks"]
-        self.joins = state["joins"]
-        self.re_messages = state["re_messages"]
-        self.skipped_core_cycles = state["skipped_core_cycles"]
+        for counters, core_state in zip(self.per_core, state["per_core"]):
+            counters.load_state_dict(core_state)
         for core, core_state in zip(self.harts, state["harts"]):
             for hart_stats, hart_state in zip(core, core_state):
                 hart_stats.load_state_dict(hart_state)
+
+    def core_state_dict(self, index):
+        """One core's slice (shard gathering): its counters + hart stats."""
+        return {
+            "counters": self.per_core[index].state_dict(),
+            "harts": [h.state_dict() for h in self.harts[index]],
+        }
+
+    def load_core_state_dict(self, index, state):
+        self.per_core[index].load_state_dict(state["counters"])
+        for hart_stats, hart_state in zip(self.harts[index], state["harts"]):
+            hart_stats.load_state_dict(hart_state)
+
+    # ---- machine-wide aggregates (read-only) --------------------------------
+
+    @property
+    def local_accesses(self):
+        return sum(c.local_accesses for c in self.per_core)
+
+    @property
+    def remote_accesses(self):
+        return sum(c.remote_accesses for c in self.per_core)
+
+    @property
+    def forks(self):
+        return sum(c.forks for c in self.per_core)
+
+    @property
+    def joins(self):
+        return sum(c.joins for c in self.per_core)
+
+    @property
+    def re_messages(self):
+        return sum(c.re_messages for c in self.per_core)
+
+    @property
+    def skipped_core_cycles(self):
+        return sum(c.skipped_cycles for c in self.per_core)
 
     @property
     def retired(self):

@@ -1,0 +1,746 @@
+"""The space-sharded cycle-accurate engine.
+
+Model
+-----
+
+The core line is split into contiguous shards; one forked worker process
+per shard runs the ordinary event-descriptor machine
+(:mod:`repro.machine.processor`) over its own cores, banks, ports and
+egress link cursors.  Workers advance in lock-step **epochs** of
+:data:`EPOCH_WIDTH` cycles and exchange cross-shard event descriptors at
+every epoch boundary over a full mesh of pipes.
+
+Why the epoch width is safe (conservative lookahead): every cross-core
+interaction is an event posted for at least two cycles in the future —
+a remote memory request crosses >= 2 router links (1 cycle each), the
+forward/backward neighbour lines add one hop plus one delivery cycle,
+continuation-value writes add ``cv_write_latency`` on top of the hop,
+and the ``re_ack`` / halt broadcasts use fixed >= 2-cycle latencies.  So
+while a worker simulates cycles ``[E, E+2)``, no peer can post an event
+it would need before cycle ``E+2`` — the next barrier.  The engine
+asserts this invariant on every message it ships.
+
+Determinism: event keys ``(cycle, origin, oseq, dst, kind, args)`` are
+computed from the *posting domain's* own counter, so they are identical
+no matter which process runs the posting core; each worker's event heap
+pops in exactly the order the single-process heap would pop the same
+subset, and the merged trace (per-domain buffers, merged by ``(cycle,
+domain)``) is byte-identical by construction.  Halts, errors, deadlock
+and cycle-limit decisions are reduced to min-key form, exchanged in the
+per-epoch status record, and re-decided *identically* by every worker —
+there is no coordinator making scheduling choices.
+
+Message batch format (one frame per peer per barrier)::
+
+    (status, events)
+    status = (cycle, halt_key, halt_reason, error_key, error,
+              active_cores, heap_min, heap_size, outbox_min,
+              outbox_count, retired, seq_sum)
+    events = [(cycle, origin, oseq, dst, kind, args), ...]
+
+frames are ``marshal`` payloads behind a 4-byte big-endian length.
+
+Snapshots: at a snapshot trigger (and at every run-ending decision) the
+workers ship ``core_state_dict()`` slices of their owned domains to the
+parent, which loads them into its master machine — a plain
+:class:`~repro.machine.processor.LBP` — so an ``.lbpsnap`` written from
+a sharded run is indistinguishable from a single-process one and can be
+resumed under any shard count.
+"""
+
+import heapq
+import marshal
+import os
+import struct
+
+from repro.machine.processor import (
+    EVENT_HANDLERS,
+    HALT_LATENCY,
+    DeadlockError,
+    LBP,
+    MachineError,
+)
+
+#: conservative lookahead, in cycles: the minimum latency of any
+#: cross-core interaction (see the module docstring for the derivation).
+#: Workers simulate epochs of this width between barriers.
+EPOCH_WIDTH = 2
+
+# a halt would otherwise take effect before the barrier that merges it
+assert HALT_LATENCY >= EPOCH_WIDTH
+
+#: livelock/progress probe period, matching the sequential run loop
+_PROGRESS_PERIOD = 4096
+
+_FRAME = struct.Struct(">I")
+
+
+def partition_cores(num_cores, shards):
+    """Contiguous, balanced shard ranges: ``[(start, stop), ...]``.
+
+    The first ``num_cores % shards`` shards take one extra core, so a
+    16-core machine under 4 shards yields (0,4) (4,8) (8,12) (12,16).
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1, got %d" % shards)
+    if shards > num_cores:
+        raise ValueError(
+            "cannot cut %d core(s) into %d shard(s)" % (num_cores, shards))
+    base, extra = divmod(num_cores, shards)
+    bounds = []
+    start = 0
+    for shard in range(shards):
+        stop = start + base + (1 if shard < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+# ---- framed marshal transport ------------------------------------------------
+
+
+def _write_all(fd, data):
+    view = memoryview(data)
+    while view:
+        view = view[os.write(fd, view):]
+
+
+def _send(fd, payload):
+    blob = marshal.dumps(payload)
+    _write_all(fd, _FRAME.pack(len(blob)) + blob)
+
+
+def _read_exact(fd, size):
+    chunks = []
+    while size:
+        chunk = os.read(fd, size)
+        if not chunk:
+            raise EOFError("peer closed the pipe mid-frame")
+        chunks.append(chunk)
+        size -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv(fd):
+    (size,) = _FRAME.unpack(_read_exact(fd, _FRAME.size))
+    return marshal.loads(_read_exact(fd, size))
+
+
+# ---- worker ------------------------------------------------------------------
+
+
+class _Worker:
+    """One shard's run loop (executes in the forked child)."""
+
+    def __init__(self, machine, shard, bounds, peer_send, peer_recv,
+                 to_parent, from_parent):
+        self.machine = machine
+        self.shard = shard
+        self.bounds = bounds
+        self.owned = list(range(*bounds[shard]))
+        #: core index -> owning shard, for routing outbox messages
+        self.owner_of = {}
+        for index, (start, stop) in enumerate(bounds):
+            for core in range(start, stop):
+                self.owner_of[core] = index
+        self.peers = [s for s in range(len(bounds)) if s != shard]
+        self.peer_send = peer_send    # {shard: write fd}
+        self.peer_recv = peer_recv    # {shard: read fd}
+        self.to_parent = to_parent
+        self.from_parent = from_parent
+        # merged-at-last-barrier global view (progress/livelock probe)
+        self.global_mark = None
+        self.global_events = 0
+
+    # -- pieces ---------------------------------------------------------------
+
+    def _barrier(self, cycle):
+        """Exchange outbox + status with every peer; merge; return stats.
+
+        Returns ``(global_active, global_next)`` where *global_next* is
+        the earliest pending activity (event delivery) anywhere, or None.
+        """
+        machine = self.machine
+        outbox = machine._outbox
+        machine._outbox = []
+        for event in outbox:
+            # lookahead invariant: nothing ships that a peer already needed
+            assert event[0] >= cycle, (event, cycle)
+        status = self._status(cycle, outbox)
+        statuses = [None] * len(self.bounds)
+        statuses[self.shard] = status
+        # the no-traffic frame is identical for every peer: marshal once
+        empty = None
+        for peer in self.peers:
+            batch = [
+                list(event[:5]) + [list(event[5])]
+                for event in outbox
+                if self.owner_of[event[3]] == peer
+            ]
+            if batch:
+                _send(self.peer_send[peer], (status, batch))
+            else:
+                if empty is None:
+                    blob = marshal.dumps((status, []))
+                    empty = _FRAME.pack(len(blob)) + blob
+                _write_all(self.peer_send[peer], empty)
+        for peer in self.peers:
+            peer_status, batch = _recv(self.peer_recv[peer])
+            statuses[peer] = peer_status
+            for cyc, origin, oseq, dst, kind, args in batch:
+                heapq.heappush(
+                    machine._events,
+                    (cyc, origin, oseq, dst, kind, tuple(args)))
+        return self._merge(statuses)
+
+    def _status(self, cycle, outbox):
+        machine = self.machine
+        events = machine._events
+        heap_min = events[0][0] if events else None
+        outbox_min = min(ev[0] for ev in outbox) if outbox else None
+        retired = sum(
+            h.retired for i in self.owned for h in machine.stats.harts[i])
+        seq_sum = sum(machine.cores[i]._seq for i in self.owned)
+        return (
+            cycle,
+            None if machine._halt_key is None else list(machine._halt_key),
+            machine.halt_reason,
+            None if machine._error_key is None else list(machine._error_key),
+            machine._error,
+            machine._num_active,
+            heap_min,
+            len(events),
+            outbox_min,
+            len(outbox),
+            retired,
+            seq_sum,
+        )
+
+    def _merge(self, statuses):
+        """Fold the statuses into this worker's machine — identically
+        recomputed by every worker, so all global decisions agree."""
+        machine = self.machine
+        halt_best = None
+        error_best = None
+        active = 0
+        nxt = None
+        pending = 0
+        retired = 0
+        seq_sum = 0
+        for status in statuses:
+            (cycle, halt_key, halt_reason, error_key, error, num_active,
+             heap_min, heap_size, outbox_min, outbox_count,
+             st_retired, st_seq) = status
+            if halt_key is not None:
+                key = tuple(halt_key)
+                if halt_best is None or key < halt_best[0]:
+                    halt_best = (key, halt_reason)
+            if error_key is not None:
+                key = tuple(error_key)
+                if error_best is None or key < error_best[0]:
+                    error_best = (key, error)
+            active += num_active
+            for candidate in (heap_min, outbox_min):
+                if candidate is not None and (nxt is None or candidate < nxt):
+                    nxt = candidate
+            pending += heap_size + outbox_count
+            retired += st_retired
+            seq_sum += st_seq
+        if halt_best is not None:
+            machine._halt_key = halt_best[0]
+            machine._halt_at = halt_best[0][0]
+            machine.halt_reason = halt_best[1]
+        if error_best is not None:
+            machine._error_key = error_best[0]
+            machine._error = error_best[1]
+        self.global_mark = (retired, seq_sum)
+        self.global_events = pending
+        return active, nxt
+
+    def _gather_payload(self):
+        machine = self.machine
+        return {
+            "cores": [
+                [index, machine.core_state_dict(index)]
+                for index in self.owned
+            ],
+            "halt_key": (None if machine._halt_key is None
+                         else list(machine._halt_key)),
+            "halt_reason": machine.halt_reason,
+            "error_key": (None if machine._error_key is None
+                          else list(machine._error_key)),
+            "error": machine._error,
+        }
+
+    # -- the loop --------------------------------------------------------------
+
+    def run(self, max_cycles, stop_at_cycle, snapshot_every, want_snapshots,
+            profile=False):
+        profiler = None
+        if profile:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+        try:
+            outcome = self._loop(
+                max_cycles, stop_at_cycle, snapshot_every, want_snapshots)
+        finally:
+            if profiler is not None:
+                profiler.disable()
+                import pstats
+                import sys
+
+                print("--- shard 0 profile (top 20 by cumulative time) ---")
+                pstats.Stats(profiler).sort_stats(
+                    "cumulative").print_stats(20)
+                sys.stdout.flush()
+        _send(self.to_parent,
+              ("final", outcome, self.machine.cycle, self._gather_payload()))
+
+    def _loop(self, max_cycles, stop_at_cycle, snapshot_every, want_snapshots):
+        machine = self.machine
+        params = machine.params
+        limit = max_cycles if max_cycles is not None else params.max_cycles
+        owned = self.owned
+        machine._owned = set(owned)
+        machine._outbox = []
+        machine._events = [
+            event for event in machine._events if event[3] in machine._owned]
+        heapq.heapify(machine._events)
+        machine._num_active = sum(
+            1 for i in owned if machine.cores[i].active)
+
+        cores = machine.cores
+        per_core = machine.stats.per_core
+        handlers = EVENT_HANDLERS
+        heappop = heapq.heappop
+        cycle = machine.cycle
+        progress_mark = (0, 0)
+        next_progress = _PROGRESS_PERIOD
+        next_snapshot = None
+        if snapshot_every is not None and want_snapshots:
+            next_snapshot = cycle + snapshot_every
+
+        while True:
+            # -- top of epoch: symmetric decisions (identical in every
+            # worker — all inputs were merged at the last barrier)
+            if machine._halt_at is not None and cycle >= machine._halt_at:
+                machine.cycle = machine._halt_at - 1
+                machine.halted = True
+                return "halt"
+            if stop_at_cycle is not None and cycle >= stop_at_cycle:
+                machine.cycle = cycle
+                return "pause"
+            if next_snapshot is not None and cycle >= next_snapshot:
+                machine.cycle = cycle
+                _send(self.to_parent,
+                      ("snapshot", None, cycle, self._gather_payload()))
+                if _recv(self.from_parent) != "ack":
+                    raise EOFError("parent abandoned the snapshot barrier")
+                next_snapshot = cycle + snapshot_every
+            if cycle >= next_progress:
+                if (self.global_mark is not None
+                        and self.global_mark == progress_mark
+                        and self.global_events == 0
+                        and machine._halt_at is None):
+                    machine.cycle = cycle
+                    return "deadlock"
+                if self.global_mark is not None:
+                    progress_mark = self.global_mark
+                next_progress = cycle + _PROGRESS_PERIOD
+            if cycle > limit:
+                machine.cycle = cycle
+                return "limit"
+
+            # -- simulate one epoch (clipped so that pause, snapshot and
+            # limit decisions land on the exact sequential cycle)
+            barrier = cycle + EPOCH_WIDTH
+            if stop_at_cycle is not None and stop_at_cycle < barrier:
+                barrier = stop_at_cycle
+            if next_snapshot is not None and next_snapshot < barrier:
+                barrier = next_snapshot
+            if limit + 1 < barrier:
+                barrier = limit + 1
+            events = machine._events
+            while cycle < barrier:
+                if (machine._halt_at is not None
+                        and cycle >= machine._halt_at):
+                    break
+                if machine._num_active == 0:
+                    # all owned cores idle: skip ahead to the next local
+                    # event (or the barrier) in one hop — same per-core
+                    # skipped_cycles accounting as the per-cycle path
+                    target = barrier
+                    if events and events[0][0] < target:
+                        target = events[0][0]
+                    if (machine._halt_at is not None
+                            and machine._halt_at < target):
+                        target = machine._halt_at
+                    if target > cycle:
+                        delta = target - cycle
+                        for index in owned:
+                            per_core[index].skipped_cycles += delta
+                        cycle = target
+                        continue
+                # handlers and core.tick read machine.cycle as "now"
+                machine.cycle = cycle
+                while events and events[0][0] <= cycle:
+                    event = heappop(events)
+                    machine._origin = event[3]
+                    handlers[event[4]](machine, *event[5])
+                for index in owned:
+                    core = cores[index]
+                    if core.active:
+                        machine._origin = index
+                        if not core.tick():
+                            core.active = False
+                            machine._num_active -= 1
+                    else:
+                        per_core[index].skipped_cycles += 1
+                if machine._error is not None:
+                    machine.cycle = cycle
+                    cycle += 1
+                    break
+                cycle += 1
+
+            # -- barrier: ship the epoch's cross-shard traffic, merge
+            # coordination state, and take the symmetric global decisions
+            active, global_next = self._barrier(cycle)
+            if machine._error is not None:
+                machine.cycle = machine._error_key[0]
+                return "error"
+            if active == 0:
+                target = global_next
+                if machine._halt_at is not None and (
+                        target is None or machine._halt_at < target):
+                    target = machine._halt_at
+                if target is None:
+                    machine.cycle = cycle
+                    return "deadlock"
+                if target > cycle:
+                    delta = target - cycle
+                    for index in owned:
+                        per_core[index].skipped_cycles += delta
+                    cycle = target
+            machine.cycle = cycle
+
+
+def _worker_main(machine, shard, bounds, peer_send, peer_recv,
+                 to_parent, from_parent, run_kwargs, profile):
+    worker = _Worker(machine, shard, bounds, peer_send, peer_recv,
+                     to_parent, from_parent)
+    worker.run(profile=profile, **run_kwargs)
+
+
+# ---- parent-side coordinator -------------------------------------------------
+
+
+class ShardedLBP:
+    """Space-sharded façade over a master :class:`LBP` machine.
+
+    Same construction/run interface as ``LBP``; ``run`` forks one worker
+    per shard, and every observable result — stats, trace, memory,
+    snapshots — is gathered back into the master machine, which behaves
+    exactly as if it had simulated the run by itself.
+    """
+
+    def __init__(self, params=None, trace=None, shards=None, master=None):
+        if master is not None:
+            self.master = master
+        else:
+            self.master = LBP(params, trace=trace)
+        if shards is None:
+            raise ValueError("ShardedLBP requires an explicit shard count")
+        requested = int(shards)
+        if requested < 1:
+            raise ValueError("shards must be >= 1, got %d" % requested)
+        #: effective shard count: never more than one core per shard
+        self.shards = min(requested, self.master.params.num_cores)
+        #: when set, shard 0's worker runs under cProfile and prints its
+        #: top-20 table before exiting (``repro run --profile --shards N``)
+        self.profile_shard_zero = False
+
+    # -- façade ---------------------------------------------------------------
+
+    @property
+    def params(self):
+        return self.master.params
+
+    @property
+    def program(self):
+        return self.master.program
+
+    @property
+    def stats(self):
+        return self.master.stats
+
+    @property
+    def trace(self):
+        return self.master.trace
+
+    @property
+    def cores(self):
+        return self.master.cores
+
+    @property
+    def mmio(self):
+        return self.master.mmio
+
+    @property
+    def cycle(self):
+        return self.master.cycle
+
+    @property
+    def halted(self):
+        return self.master.halted
+
+    @property
+    def halt_reason(self):
+        return self.master.halt_reason
+
+    def load(self, program, start=True):
+        self.master.load(program, start=start)
+        return self
+
+    def add_device(self, addr, device):
+        raise MachineError(
+            "the sharded engine cannot host MMIO devices: a device is an "
+            "external object living in the parent process, invisible to "
+            "the shard workers — run with shards=1 to attach devices"
+        )
+
+    def read_word(self, addr):
+        return self.master.read_word(addr)
+
+    def write_word(self, addr, value):
+        return self.master.write_word(addr, value)
+
+    def read_local(self, core_index, addr):
+        return self.master.read_local(core_index, addr)
+
+    def state_dict(self):
+        return self.master.state_dict()
+
+    def load_state_dict(self, state):
+        return self.master.load_state_dict(state)
+
+    # -- run -------------------------------------------------------------------
+
+    def run(self, max_cycles=None, stop_at_cycle=None,
+            snapshot_every=None, snapshot_callback=None):
+        master = self.master
+        if (self.shards <= 1
+                or master.halted
+                or (stop_at_cycle is not None
+                    and master.cycle >= stop_at_cycle)):
+            # degenerate cases: the in-process loop is the sharded run
+            return master.run(
+                max_cycles=max_cycles, stop_at_cycle=stop_at_cycle,
+                snapshot_every=snapshot_every,
+                snapshot_callback=snapshot_callback)
+        if master.mmio:
+            raise MachineError(
+                "the sharded engine cannot simulate machines with MMIO "
+                "devices attached (%d present)" % len(master.mmio))
+        return _Coordinator(self).run(
+            max_cycles, stop_at_cycle, snapshot_every, snapshot_callback)
+
+
+class _Coordinator:
+    """Forks the workers, services gathers, applies them to the master."""
+
+    def __init__(self, sharded):
+        self.sharded = sharded
+        self.master = sharded.master
+        self.bounds = partition_cores(
+            self.master.params.num_cores, sharded.shards)
+        self.pids = []
+        self.up = {}      # shard -> read fd (worker -> parent)
+        self.down = {}    # shard -> write fd (parent -> worker)
+
+    def run(self, max_cycles, stop_at_cycle, snapshot_every,
+            snapshot_callback):
+        master = self.master
+        shards = len(self.bounds)
+        self.limit = (max_cycles if max_cycles is not None
+                      else master.params.max_cycles)
+        run_kwargs = {
+            "max_cycles": max_cycles,
+            "stop_at_cycle": stop_at_cycle,
+            "snapshot_every": snapshot_every,
+            "want_snapshots": snapshot_callback is not None,
+        }
+
+        # full mesh: mesh[i][j] = (read, write) pipe carrying i -> j
+        mesh = {
+            i: {j: os.pipe() for j in range(shards) if j != i}
+            for i in range(shards)
+        }
+        parent_up = {s: os.pipe() for s in range(shards)}
+        parent_down = {s: os.pipe() for s in range(shards)}
+
+        try:
+            for shard in range(shards):
+                pid = os.fork()
+                if pid == 0:
+                    self._child(shard, mesh, parent_up, parent_down,
+                                run_kwargs)
+                    os._exit(0)  # unreachable; _child always exits
+                self.pids.append(pid)
+            # parent keeps only its ends
+            for i in mesh:
+                for _, (r, w) in mesh[i].items():
+                    os.close(r)
+                    os.close(w)
+            for shard in range(shards):
+                r, w = parent_up[shard]
+                os.close(w)
+                self.up[shard] = r
+                r, w = parent_down[shard]
+                os.close(r)
+                self.down[shard] = w
+
+            return self._serve(snapshot_callback, stop_at_cycle)
+        finally:
+            self._cleanup()
+
+    def _child(self, shard, mesh, parent_up, parent_down, run_kwargs):
+        status = 1
+        to_parent = None
+        try:
+            peer_send = {}
+            peer_recv = {}
+            for i in mesh:
+                for j, (r, w) in mesh[i].items():
+                    if i == shard:
+                        os.close(r)
+                        peer_send[j] = w
+                    elif j == shard:
+                        os.close(w)
+                        peer_recv[i] = r
+                    else:
+                        os.close(r)
+                        os.close(w)
+            for s, (r, w) in parent_up.items():
+                os.close(r)
+                if s == shard:
+                    to_parent = w
+                else:
+                    os.close(w)
+            for s, (r, w) in parent_down.items():
+                os.close(w)
+                if s == shard:
+                    from_parent = r
+                else:
+                    os.close(r)
+            profile = self.sharded.profile_shard_zero and shard == 0
+            _worker_main(self.master, shard, self.bounds, peer_send,
+                         peer_recv, to_parent, from_parent, run_kwargs,
+                         profile)
+            status = 0
+        except BaseException:
+            import traceback
+
+            traceback.print_exc()
+            if to_parent is not None:
+                try:
+                    _send(to_parent, ("crash", shard, None, None))
+                except OSError:
+                    pass
+        finally:
+            os._exit(status)
+
+    def _serve(self, snapshot_callback, stop_at_cycle):
+        """Read gather rounds until the run ends; apply; decide outcome."""
+        while True:
+            frames = [_recv_or_fail(self.up[s]) for s in sorted(self.up)]
+            kinds = {frame[0] for frame in frames}
+            if "crash" in kinds:
+                raise MachineError(
+                    "sharded worker crashed (see the worker's traceback "
+                    "on stderr)")
+            if len(kinds) != 1:
+                raise MachineError(
+                    "sharded workers desynchronised: %r" % sorted(kinds))
+            kind, outcome, cycle = frames[0][:3]
+            self._apply(frames)
+            if kind == "snapshot":
+                self.master.cycle = cycle
+                snapshot_callback(self.sharded)
+                for s in sorted(self.down):
+                    _send(self.down[s], "ack")
+                continue
+            return self._finish(outcome, cycle, stop_at_cycle)
+
+    def _apply(self, frames):
+        """Load the gathered shard slices into the master machine."""
+        master = self.master
+        master._events = []
+        for frame in frames:
+            payload = frame[3]
+            for index, state in payload["cores"]:
+                master.load_core_state_dict(index, state)
+            master._halt_key = (
+                None if payload["halt_key"] is None
+                else tuple(payload["halt_key"]))
+            master._halt_at = (
+                None if master._halt_key is None else master._halt_key[0])
+            master.halt_reason = payload["halt_reason"]
+            master._error_key = (
+                None if payload["error_key"] is None
+                else tuple(payload["error_key"]))
+            master._error = payload["error"]
+
+    def _finish(self, outcome, cycle, stop_at_cycle):
+        master = self.master
+        stats = master.stats
+        for pid in self.pids:
+            os.waitpid(pid, 0)
+        self.pids = []
+        if outcome == "halt":
+            master.cycle = master._halt_at - 1
+            master.halted = True
+            stats.cycles = max(stats.cycles, master._halt_at)
+            return stats
+        if outcome == "pause":
+            master.cycle = cycle
+            stats.cycles = max(stats.cycles, cycle)
+            return stats
+        if outcome == "error":
+            master.cycle = cycle
+            raise MachineError(master._error)
+        if outcome == "limit":
+            master.cycle = cycle
+            raise MachineError(
+                "cycle limit exceeded (%d); likely livelock" % self.limit)
+        if outcome == "deadlock":
+            master.cycle = cycle
+            raise DeadlockError(master._deadlock_dump())
+        raise MachineError("unknown sharded outcome %r" % (outcome,))
+
+    def _cleanup(self):
+        for fd in list(self.up.values()) + list(self.down.values()):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        self.up = {}
+        self.down = {}
+        for pid in self.pids:
+            try:
+                os.kill(pid, 9)
+            except OSError:
+                pass
+            try:
+                os.waitpid(pid, 0)
+            except OSError:
+                pass
+        self.pids = []
+
+
+def _recv_or_fail(fd):
+    try:
+        return _recv(fd)
+    except EOFError:
+        return ("crash", None, None, None)

@@ -41,7 +41,7 @@ SNAPSHOT_FORMAT_VERSION = 1
 #: change invalidates recorded state — i.e. whenever the golden trace
 #: digests (tests/data/golden_traces.json) are intentionally regenerated.
 #: Stored in every snapshot and mixed into every cache key.
-SIM_VERSION = "lbp-sim-2"
+SIM_VERSION = "lbp-sim-3"
 
 _MAGIC = b"LBPSNAP\x01"
 _HEADER = struct.Struct(">IQ")
@@ -91,6 +91,12 @@ def _unjsonable(value):
 
 def snapshot(machine):
     """Serialize a cycle-accurate *machine* to bytes (see module doc)."""
+    # the sharded engine (repro.parsim.ShardedLBP) is a façade whose
+    # gathered state lives in an ordinary master LBP — snapshot that, so
+    # sharded and single-process runs produce interchangeable files
+    master = getattr(machine, "master", None)
+    if isinstance(master, LBP):
+        machine = master
     if not isinstance(machine, LBP):
         raise SnapshotUnsupportedError(
             "only the cycle-accurate LBP simulator supports snapshot/restore; "

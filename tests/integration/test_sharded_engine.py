@@ -1,0 +1,163 @@
+"""Bit-exactness of the space-sharded cycle-accurate engine.
+
+The contract (DESIGN.md "Space-sharded cycle-accurate engine"): a run
+under ``LBP(shards=N)`` produces the *identical* observable machine to
+the single-process run — the same merged event order and trace digest,
+the same statistics, the same final ``state_dict()``, and the same
+outcome (halt / pause / error / deadlock / cycle-limit) at the same
+cycle.  Snapshots taken under any shard count restore under any other.
+
+These tests pin that contract against the golden workloads of
+``test_trace_golden`` and against the error paths.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro.asm import assemble
+from repro.compiler import compile_to_program
+from repro.machine import LBP, Params
+from repro.machine.processor import DeadlockError, MachineError
+from repro.parsim import ShardedLBP
+from repro.snapshot import restore, snapshot
+from repro.snapshot.snapshot import trace_digest
+from repro.workloads.setget import setget_source, verify_setget
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from test_trace_golden import GOLDEN_PATH, WORKLOADS, measure  # noqa: E402
+
+MAX_CYCLES = 50_000_000
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_sharded_runs_match_golden_digests(name, shards, golden):
+    """Acceptance bar: sharded digests equal tests/data/golden_traces.json.
+
+    ``re_contention_c1`` has a single core, so any shard request coerces
+    to one shard and takes the in-process path — included to pin that
+    degenerate behaviour too.
+    """
+    assert measure(name, shards=shards) == golden[name]
+
+
+def _setget_machine(shards=None, trace=True):
+    program = compile_to_program(setget_source(16, 64), "setget.c")
+    machine = LBP(Params(num_cores=4, trace_enabled=trace),
+                  shards=shards).load(program)
+    return machine, program
+
+
+def test_pause_snapshot_resume_across_shard_counts():
+    """Pause under shards=2; the snapshot resumes bit-identically under
+    shards=1 (plain restore) and re-wrapped under shards=4."""
+    reference, _ = _setget_machine()
+    reference.run(max_cycles=MAX_CYCLES)
+    want_digest = trace_digest(reference.trace.events)
+    want_state = reference.state_dict()
+
+    paused, _ = _setget_machine(shards=2)
+    paused.run(max_cycles=MAX_CYCLES, stop_at_cycle=5000)
+    assert not paused.halted and paused.cycle == 5000
+    blob = snapshot(paused)
+
+    # also: pausing sharded is bit-identical to pausing in-process
+    seq_paused, _ = _setget_machine()
+    seq_paused.run(max_cycles=MAX_CYCLES, stop_at_cycle=5000)
+    assert snapshot(seq_paused) == blob
+
+    resumed = restore(blob)  # a plain LBP: shards=1 resume
+    resumed.run(max_cycles=MAX_CYCLES)
+    assert trace_digest(resumed.trace.events) == want_digest
+    assert resumed.state_dict() == want_state
+
+    resharded = ShardedLBP(shards=4, master=restore(blob))
+    resharded.run(max_cycles=MAX_CYCLES)
+    assert trace_digest(resharded.trace.events) == want_digest
+    assert resharded.state_dict() == want_state
+    verify_setget(resharded, 16, 64)
+
+
+def test_periodic_snapshots_identical_to_sequential():
+    cycles = {}
+    blobs = {}
+    for shards in (None, 2):
+        machine, _ = _setget_machine(shards=shards)
+        taken = []
+        payloads = []
+
+        def take(m, taken=taken, payloads=payloads):
+            taken.append(m.cycle)
+            payloads.append(snapshot(m))
+
+        machine.run(max_cycles=MAX_CYCLES, snapshot_every=3000,
+                    snapshot_callback=take)
+        cycles[shards] = taken
+        blobs[shards] = payloads
+    assert cycles[None] == cycles[2] and cycles[None]
+    assert blobs[None] == blobs[2]
+
+
+def test_cycle_limit_parity():
+    messages = {}
+    final_cycle = {}
+    for shards in (None, 2):
+        machine, _ = _setget_machine(shards=shards, trace=False)
+        with pytest.raises(MachineError) as err:
+            machine.run(max_cycles=4000)
+        messages[shards] = str(err.value)
+        final_cycle[shards] = machine.cycle
+    assert messages[None] == messages[2]
+    assert "cycle limit exceeded (4000)" in messages[None]
+    assert final_cycle[None] == final_cycle[2]
+
+
+ERROR_PROGRAM = """
+main:
+    li   t0, 0x100
+    jr   t0
+"""
+
+DEADLOCK_PROGRAM = """
+main:
+    p_lwre t1, 0
+    ebreak
+"""
+
+
+@pytest.mark.parametrize("source,exc", [
+    (ERROR_PROGRAM, MachineError),
+    (DEADLOCK_PROGRAM, DeadlockError),
+])
+def test_error_and_deadlock_parity(source, exc):
+    """Errors and deadlocks surface with the sequential run's exact
+    message and cycle, no matter which shard raised them."""
+    outcomes = {}
+    for shards in (None, 2):
+        machine = LBP(Params(num_cores=4), shards=shards)
+        machine.load(assemble(source))
+        with pytest.raises(exc) as err:
+            machine.run(max_cycles=MAX_CYCLES)
+        outcomes[shards] = (str(err.value), machine.cycle)
+    assert outcomes[None] == outcomes[2]
+
+
+def test_shard_count_coerced_to_core_count():
+    machine, _ = _setget_machine(shards=64)
+    assert isinstance(machine, ShardedLBP)
+    assert machine.shards == 4  # never more than one core per shard
+
+
+def test_sharded_engine_refuses_mmio_devices():
+    machine = LBP(Params(num_cores=4), shards=2)
+    with pytest.raises(MachineError):
+        machine.add_device(0x4000_0000, object())

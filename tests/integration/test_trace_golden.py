@@ -86,43 +86,48 @@ def trace_digest(events):
     return h.hexdigest()
 
 
-def _run_traced(program, cores):
-    machine = LBP(Params(num_cores=cores, trace_enabled=True)).load(program)
+def _run_traced(program, cores, shards=None):
+    machine = LBP(Params(num_cores=cores, trace_enabled=True),
+                  shards=shards).load(program)
     stats = machine.run(max_cycles=50_000_000)
     return machine, stats
 
 
-def run_matmul_workload(version):
+def run_matmul_workload(version, shards=None):
     program = compile_to_program(matmul_source(version, 16), "mm.c")
-    machine, stats = _run_traced(program, 4)
+    machine, stats = _run_traced(program, 4, shards)
     verify_matmul(machine, program, version, 16)
     return machine, stats
 
 
-def run_setget_workload():
+def run_setget_workload(shards=None):
     program = compile_to_program(setget_source(16, 64), "setget.c")
-    machine, stats = _run_traced(program, 4)
+    machine, stats = _run_traced(program, 4, shards)
     verify_setget(machine, 16, 64)
     return machine, stats
 
 
-def run_re_contention_workload():
+def run_re_contention_workload(shards=None):
     program = assemble(RE_CONTENTION)
-    machine, stats = _run_traced(program, 1)
+    machine, stats = _run_traced(program, 1, shards)
     assert machine.read_word(program.symbol("got")) == 111 + 222 + 333
     return machine, stats
 
 
 WORKLOADS = {
-    "matmul_base_h16_c4": lambda: run_matmul_workload("base"),
-    "matmul_tiled_h16_c4": lambda: run_matmul_workload("tiled"),
+    "matmul_base_h16_c4":
+        lambda shards=None: run_matmul_workload("base", shards),
+    "matmul_tiled_h16_c4":
+        lambda shards=None: run_matmul_workload("tiled", shards),
     "setget_h16_chunk64_c4": run_setget_workload,
     "re_contention_c1": run_re_contention_workload,
 }
 
 
-def measure(name):
-    machine, stats = WORKLOADS[name]()
+def measure(name, shards=None):
+    """Result summary of one golden workload (optionally space-sharded —
+    the sharded engine must reproduce the golden digests bit-exactly)."""
+    machine, stats = WORKLOADS[name](shards=shards)
     return {
         "cycles": stats.cycles,
         "retired": stats.retired,

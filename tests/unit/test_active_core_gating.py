@@ -66,7 +66,7 @@ def test_simultaneous_wakeups_tick_in_core_index_order():
     for core_index in (2, 1):  # deliberately reversed
         hart = machine.cores[core_index].harts[0]
         hart.reserved = True  # make the hart a valid start_pc target
-        machine.schedule(wake_cycle, "start_pc", (hart.gid, entry))
+        machine.post(core_index, wake_cycle, "start_pc", (hart.gid, entry))
 
     with pytest.raises(MachineError):  # the spin loops hit the limit
         machine.run(max_cycles=300)

@@ -51,7 +51,10 @@ TASKS = (
 def test_sequential_and_parallel_merge_byte_identical():
     sequential = run_experiments(TASKS, jobs=1)
     parallel = run_experiments(TASKS, jobs=2)
-    assert pickle.dumps(sequential) == pickle.dumps(parallel)
+    # the *rows* are byte-identical; meta records the differing job counts
+    assert pickle.dumps(dict(sequential)) == pickle.dumps(dict(parallel))
+    assert sequential == parallel  # meta does not participate in equality
+    assert (sequential.meta["jobs"], parallel.meta["jobs"]) == (1, 2)
     # insertion order is the task order, not completion order
     assert list(parallel) == [key for key, *_ in TASKS]
 
@@ -75,6 +78,51 @@ def test_empty_task_list():
 
 def test_default_jobs_positive():
     assert default_jobs() >= 1
+
+
+def test_default_jobs_env_override(monkeypatch):
+    monkeypatch.setenv("LBP_JOBS", "3")
+    assert default_jobs() == 3
+
+
+def test_default_jobs_ignores_bad_override(monkeypatch):
+    import os
+
+    for bad in ("", "zero", "0", "-2"):
+        monkeypatch.setenv("LBP_JOBS", bad)
+        assert default_jobs() >= 1
+    monkeypatch.delenv("LBP_JOBS")
+    if hasattr(os, "sched_getaffinity"):
+        # affinity is the authority, not the raw CPU count: a process
+        # restricted to a subset of the host's CPUs must not oversubscribe
+        assert default_jobs() == max(1, len(os.sched_getaffinity(0)))
+
+
+def test_default_jobs_respects_affinity(monkeypatch):
+    import os
+
+    monkeypatch.delenv("LBP_JOBS", raising=False)
+    if not hasattr(os, "sched_getaffinity"):
+        pytest.skip("platform has no sched_getaffinity")
+    monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 2, 5})
+    assert default_jobs() == 3
+
+
+def test_meta_jobs_recorded_with_cache(tmp_path):
+    from repro.snapshot import RunCache
+
+    cache = RunCache(str(tmp_path / "cache"))
+    tasks = [("sq/%d" % n, _square, (n,)) for n in range(3)]
+    cold = run_experiments(tasks, jobs=2, cache=cache)
+    warm = run_experiments(tasks, jobs=2, cache=cache)
+    # warm- and cold-cache runs record the same provenance
+    assert cold.meta == warm.meta == {"jobs": 2}
+
+
+def test_meta_survives_pickle():
+    results = run_experiments([("sq/2", _square, (2,))], jobs=1)
+    clone = pickle.loads(pickle.dumps(results))
+    assert clone == results and clone.meta == results.meta
 
 
 def test_no_fork_platform_degrades_to_identical_sequential(monkeypatch):
