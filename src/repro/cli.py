@@ -5,6 +5,9 @@ Usage (installed as ``python -m repro``):
     python -m repro compile prog.c               # print assembly
     python -m repro disasm prog.c                # print the final listing
     python -m repro run prog.c --cores 4         # run, print statistics
+    python -m repro check prog.c                 # referential-order races
+    python -m repro check prog.c --sync req:4    # request words are sync
+    python -m repro check prog.c --shards 4 --json
     python -m repro run prog.c --sim fast        # fast simulator
     python -m repro run prog.c --shards 4        # space-sharded, bit-identical
     python -m repro run prog.c --trace --trace-limit 50
@@ -169,6 +172,33 @@ def cmd_run(args):
     return 0
 
 
+def cmd_check(args):
+    """Run under the referential-order race detector; exit 1 on races."""
+    program = _build_program(args.source)
+    params = Params(num_cores=args.cores)
+    machine = LBP(params, shards=args.shards, sanitize=True)
+    machine.load(program)
+    try:
+        machine.run(max_cycles=args.max_cycles)
+    except Exception as exc:  # report observations gathered so far anyway
+        print("warning: run ended abnormally: %s" % exc, file=sys.stderr)
+    sync = []
+    if args.sync:
+        for spec in args.sync.split(","):
+            spec = spec.strip()
+            if not spec:
+                continue
+            name, _, words_text = spec.partition(":")
+            words = int(words_text) if words_text else 1
+            sync.append((program.symbol(name.strip()), words * 4))
+    report = machine.race_report(sync=sync)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.format())
+    return 1 if report else 0
+
+
 def cmd_experiments(args):
     from repro.eval import format_rows, run_experiments, run_matmul_experiment
     from repro.workloads.matmul import MATMUL_VERSIONS
@@ -269,6 +299,24 @@ def main(argv=None):
     p_run.add_argument("--snapshot-dir", default="snapshots",
                        help="directory for --snapshot-every files")
     p_run.set_defaults(func=cmd_run)
+
+    p_check = sub.add_parser(
+        "check",
+        help="run under the referential-order race detector "
+             "(exit 1 when races are found)")
+    p_check.add_argument("source", help=".c (DetC) or .s (assembly) file")
+    p_check.add_argument("--cores", type=int, default=4)
+    p_check.add_argument("--shards", type=int, default=None, metavar="N",
+                         help="space-shard the sanitized run (the merged "
+                              "report is byte-identical for any N)")
+    p_check.add_argument("--max-cycles", type=int, default=200_000_000)
+    p_check.add_argument("--sync", metavar="SYM[:WORDS],...",
+                         help="treat these globals as synchronization "
+                              "cells (release/acquire request words, "
+                              "paper §6) instead of data")
+    p_check.add_argument("--json", action="store_true",
+                         help="print the machine-readable RaceReport")
+    p_check.set_defaults(func=cmd_check)
 
     p_exp = sub.add_parser(
         "experiments",

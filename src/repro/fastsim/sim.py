@@ -101,8 +101,17 @@ class FastHart:
 class FastLBP:
     """Drop-in (API-compatible subset) fast simulator."""
 
-    def __init__(self, params=None):
+    def __init__(self, params=None, sanitize=False):
+        if sanitize:
+            raise NotImplementedError(
+                "FastLBP does not support sanitize=True: the referential-"
+                "order race detector needs the cycle-accurate machine's "
+                "per-instruction observation hooks (rename tags, X_PAR "
+                "edge events); run the cycle simulator (LBP) instead"
+            )
         self.params = params or Params()
+        #: API parity with LBP (always None: no detector on the fast sim)
+        self.sanitizer = None
         ncores = self.params.num_cores
         self.stats = MachineStats(ncores, self.params.harts_per_core)
         self.harts = [

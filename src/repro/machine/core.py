@@ -220,6 +220,10 @@ class Core:
             machine.stats.per_core[self.index].forks += 1
             machine.trace.record(now, self.index, hart.index, "fork",
                                  "allocate hart %d" % target.gid)
+            if machine.sanitizer is not None:
+                machine.sanitizer.record(
+                    self.index,
+                    (now, "fork", hart.gid, entry.tag, target.gid))
             self._finish_at(hart, entry, target.gid, now + 1)
         elif cls == _P_FN:
             # the hart was granted by the next core (fork token protocol,
@@ -230,11 +234,18 @@ class Core:
             machine.stats.per_core[self.index].forks += 1
             machine.trace.record(now, self.index, hart.index, "fork",
                                  "allocate hart %d" % target_gid)
+            if machine.sanitizer is not None:
+                machine.sanitizer.record(
+                    self.index,
+                    (now, "fork", hart.gid, entry.tag, target_gid))
             self._finish_at(hart, entry, target_gid, now + 1)
         elif cls == _P_SWCV:
             machine.schedule_cv_write(
                 self, hart, entry, vals[0] & 0xFFFF, low.imm, vals[1])
         elif cls == _P_LWCV:
+            if machine.sanitizer is not None:
+                machine.sanitizer.record(
+                    self.index, (now, "lwcv", hart.gid, entry.tag, low.imm))
             addr = machine.cv_address(hart, low.imm)
             machine.schedule_load(self, hart, entry, low, addr)
         elif cls == _P_SWRE:
@@ -244,16 +255,27 @@ class Core:
             slot = low.re_slot
             value = hart.re_buffers[slot]
             hart.re_buffers[slot] = None
+            if machine.sanitizer is not None:
+                machine.sanitizer.record(
+                    self.index, (now, "lwre", hart.gid, entry.tag, slot))
             machine.wake_re_waiters(hart, slot)
             self._finish_at(hart, entry, value, now + 1)
         elif cls == _P_JAL:
             # next pc already resolved at decode; send pc+4, clear rd
+            if machine.sanitizer is not None:
+                machine.sanitizer.record(
+                    self.index,
+                    (now, "jsend", hart.gid, entry.tag, vals[0] & 0xFFFF))
             machine.send_start_pc(self, hart, vals[0] & 0xFFFF, entry.pc + 4)
             self._finish_at(hart, entry, 0, now + 1)
         elif cls == _P_JALR:
             if low.rd == 0:
                 self._execute_p_ret(hart, entry)
             else:
+                if machine.sanitizer is not None:
+                    machine.sanitizer.record(
+                        self.index,
+                        (now, "jsend", hart.gid, entry.tag, vals[0] & 0xFFFF))
                 machine.send_start_pc(self, hart, vals[0] & 0xFFFF, entry.pc + 4)
                 self._resolve_pc(hart, vals[1] & 0xFFFFFFFE)
                 self._finish_at(hart, entry, 0, now + 1)
@@ -287,6 +309,16 @@ class Core:
         now = machine.cycle
         kind, join_gid, join_addr = head.ret_action
         machine.trace.record(now, self.index, hart.index, "p_ret", kind)
+        sanitizer = machine.sanitizer
+        if sanitizer is not None:
+            # receive the predecessor's signal *before* sending ours so
+            # the ordered-release chain accumulates transitively
+            if hart.pred is not None:
+                sanitizer.record(
+                    self.index, (now, "pred", hart.gid, head.tag))
+            if hart.succ is not None:
+                sanitizer.record(
+                    self.index, (now, "esig", hart.gid, head.tag, hart.succ))
         # consume the predecessor link, propagate the ending signal
         hart.pred = None
         hart.pred_done = False
@@ -301,6 +333,9 @@ class Core:
             if hart.pending_join is not None:
                 addr = hart.pending_join
                 hart.pending_join = None
+                if sanitizer is not None:
+                    sanitizer.record(
+                        self.index, (now, "jrecv", hart.gid, head.tag))
                 hart.start(addr, now)
         elif kind == "end":
             hart.end()
@@ -312,6 +347,10 @@ class Core:
                 # resume directly at the join address
                 hart.start(join_addr, now)
             else:
+                if sanitizer is not None:
+                    sanitizer.record(
+                        self.index,
+                        (now, "jretsend", hart.gid, head.tag, join_gid))
                 machine.send_join(self, hart, join_gid, join_addr)
         else:
             raise AssertionError(kind)

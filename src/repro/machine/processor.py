@@ -262,6 +262,10 @@ def _ev_re_deliver(machine, core_index, hart_gid, target_gid, slot, value,
             waiters.append(desc)
         return
     target.re_buffers[slot] = value & 0xFFFFFFFF
+    if machine.sanitizer is not None:
+        machine.sanitizer.record(
+            target.core.index,
+            (machine.cycle, "refill", target_gid, slot, hart_gid))
     machine.post(core_index, machine.cycle + RE_ACK_LATENCY, "re_ack",
                  (core_index, hart_gid, target_gid, slot, value, tag))
 
@@ -309,6 +313,12 @@ def _ev_start_pc(machine, target_gid, pc):
         machine.cycle, target.core.index, target.index, "start",
         "pc 0x%x" % pc,
     )
+    if machine.sanitizer is not None:
+        # threshold: every instruction this hart decodes from here on
+        # gets a rename tag greater than the core's current counter
+        machine.sanitizer.record(
+            target.core.index,
+            (machine.cycle, "start", target_gid, target.core._tag))
 
 
 def _ev_ending_signal(machine, core_index, hart_index, succ_gid):
@@ -330,6 +340,10 @@ def _ev_join(machine, target_gid, addr):
     )
     if target.waiting_join:
         target.start(addr, machine.cycle)
+        if machine.sanitizer is not None:
+            machine.sanitizer.record(
+                target.core.index,
+                (machine.cycle, "jstart", target_gid, target.core._tag))
     else:
         target.pending_join = addr
 
@@ -368,19 +382,28 @@ class LBP:
     interface, bit-identical results, N worker processes.
     """
 
-    def __new__(cls, params=None, trace=None, shards=None):
+    def __new__(cls, params=None, trace=None, shards=None, sanitize=False):
         if cls is LBP and shards is not None and shards != 1:
             from repro.parsim import ShardedLBP
 
-            return ShardedLBP(params, trace=trace, shards=shards)
+            return ShardedLBP(params, trace=trace, shards=shards,
+                              sanitize=sanitize)
         return super().__new__(cls)
 
-    def __init__(self, params=None, trace=None, shards=None):
+    def __init__(self, params=None, trace=None, shards=None, sanitize=False):
         self.params = params or Params()
         self.stats = MachineStats(self.params.num_cores, self.params.harts_per_core)
         # explicit None test: an empty Trace is falsy (len() == 0)
         self.trace = trace if trace is not None else Trace(
             self.params.trace_enabled)
+        #: referential-order race detector (observation only; the hooks
+        #: never post events or reserve ports, so traces stay bit-exact)
+        if sanitize:
+            from repro.sanitize import Sanitizer
+
+            self.sanitizer = Sanitizer()
+        else:
+            self.sanitizer = None
         #: number of cores whose ``active`` gating flag is set; kept in
         #: lockstep with the flags by Core.activate and the run loop
         self._num_active = 0
@@ -458,6 +481,8 @@ class LBP:
             "code_bank": self.code_bank.state_dict(),
             "stats": self.stats.state_dict(),
             "trace": self.trace.state_dict(),
+            "sanitize": (None if self.sanitizer is None
+                         else self.sanitizer.state_dict()),
             "cores": [core.state_dict() for core in self.cores],
         }
 
@@ -485,6 +510,16 @@ class LBP:
         self.code_bank.load_state_dict(state["code_bank"])
         self.stats.load_state_dict(state["stats"])
         self.trace.load_state_dict(state["trace"])
+        san_state = state.get("sanitize")
+        if san_state is not None:
+            from repro.sanitize import Sanitizer
+
+            self.sanitizer = Sanitizer()
+            self.sanitizer.load_state_dict(san_state)
+        else:
+            # the observation history starts at cycle 0; a machine resumed
+            # from an unsanitized snapshot cannot be sanitized mid-run
+            self.sanitizer = None
         for core, core_state in zip(self.cores, state["cores"]):
             core.load_state_dict(core_state)
         self._num_active = sum(1 for core in self.cores if core.active)
@@ -496,6 +531,8 @@ class LBP:
             "core": self.cores[index].state_dict(),
             "stats": self.stats.core_state_dict(index),
             "trace": self.trace.domain_state_dict(index),
+            "sanitize": (None if self.sanitizer is None
+                         else self.sanitizer.domain_state_dict(index)),
             "events": [
                 [cycle, origin, oseq, dst, kind, list(args)]
                 for cycle, origin, oseq, dst, kind, args in sorted(self._events)
@@ -507,6 +544,9 @@ class LBP:
         self.cores[index].load_state_dict(state["core"])
         self.stats.load_core_state_dict(index, state["stats"])
         self.trace.load_domain_state_dict(index, state["trace"])
+        san_state = state.get("sanitize")
+        if self.sanitizer is not None and san_state is not None:
+            self.sanitizer.load_domain_state_dict(index, san_state)
         self._events = [
             event for event in self._events if event[3] != index
         ]
@@ -636,6 +676,11 @@ class LBP:
             now, core.index, hart.index, "mem_load_req",
             "addr 0x%x bank %s" % (addr, bank.name),
         )
+        if (self.sanitizer is not None and addr >= memmap.GLOBAL_BASE
+                and addr not in self.mmio):
+            self.sanitizer.record(
+                core.index,
+                (now, "acc", hart.gid, entry.tag, addr, width, 0, entry.pc))
         if remote:
             t_up = core.links.reserve_path(request_path(core.index, owner), now)
             self.post(owner, t_up, "rreq_load",
@@ -679,6 +724,11 @@ class LBP:
             now, core.index, hart.index, "mem_store_req",
             "addr 0x%x bank %s" % (addr, bank.name),
         )
+        if (self.sanitizer is not None and addr >= memmap.GLOBAL_BASE
+                and addr not in self.mmio):
+            self.sanitizer.record(
+                core.index,
+                (now, "acc", hart.gid, entry.tag, addr, width, 1, entry.pc))
         if remote:
             t_up = core.links.reserve_path(request_path(core.index, owner), now)
             self.post(owner, t_up, "rreq_store",
@@ -697,6 +747,10 @@ class LBP:
             return
         target_core_index = target_gid // self.params.harts_per_core
         now = self.cycle
+        if self.sanitizer is not None:
+            self.sanitizer.record(
+                core.index,
+                (now, "swcv", hart.gid, entry.tag, target_gid, offset))
         if target_core_index == core.index:
             t_bank = core.mem.local_port.reserve(
                 now + self.params.cv_write_latency)
@@ -739,6 +793,10 @@ class LBP:
         links = backward_links(core.index, target_core_index)
         t_arrive = core.links.reserve_path(links, self.cycle) + 1
         slot = index % self.params.num_result_buffers
+        if self.sanitizer is not None:
+            self.sanitizer.record(
+                core.index,
+                (self.cycle, "swre", hart.gid, entry.tag, target_gid, slot))
         self.post(target_core_index, t_arrive, "re_deliver",
                   (core.index, hart.gid, target_gid, slot, value,
                    entry.tag, False))
@@ -938,6 +996,23 @@ class LBP:
                         )
                     )
         return "\n".join(lines)
+
+    # ---- race detection -------------------------------------------------------
+
+    def race_report(self, sync=None):
+        """Analyze the recorded observations (``sanitize=True`` runs only).
+
+        *sync* is an optional iterable of ``(base, size)`` byte ranges to
+        treat as synchronization cells (release/acquire, like the
+        paper's §6 request words) in addition to any ranges already
+        declared on the sanitizer; returns a
+        :class:`repro.sanitize.RaceReport`.
+        """
+        if self.sanitizer is None:
+            raise MachineError(
+                "race_report() needs a machine constructed with "
+                "LBP(sanitize=True)")
+        return self.sanitizer.analyze(self.program, self.params, sync=sync)
 
     # ---- debugging / inspection --------------------------------------------------
 

@@ -445,11 +445,12 @@ class ShardedLBP:
     exactly as if it had simulated the run by itself.
     """
 
-    def __init__(self, params=None, trace=None, shards=None, master=None):
+    def __init__(self, params=None, trace=None, shards=None, master=None,
+                 sanitize=False):
         if master is not None:
             self.master = master
         else:
-            self.master = LBP(params, trace=trace)
+            self.master = LBP(params, trace=trace, sanitize=sanitize)
         if shards is None:
             raise ValueError("ShardedLBP requires an explicit shard count")
         requested = int(shards)
@@ -498,6 +499,15 @@ class ShardedLBP:
     @property
     def halt_reason(self):
         return self.master.halt_reason
+
+    @property
+    def sanitizer(self):
+        return self.master.sanitizer
+
+    def race_report(self, sync=None):
+        """Analyze the gathered shard-local observations (one merged,
+        sharding-independent report — see repro.sanitize)."""
+        return self.master.race_report(sync=sync)
 
     def load(self, program, start=True):
         self.master.load(program, start=start)

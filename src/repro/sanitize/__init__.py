@@ -1,0 +1,16 @@
+"""Dynamic referential-order race detection for the cycle-accurate LBP.
+
+``LBP(sanitize=True)`` attaches a :class:`Sanitizer` to the machine: the
+simulation records one small observation tuple per shared-bank access and
+per X_PAR happens-before edge (observation only — no events are posted,
+no ports are reserved, no trace records are added, so traces stay
+bit-exact).  After the run, :meth:`Sanitizer.analyze` replays the merged
+observations with per-hart vector clocks and reports every conflicting
+same-address access pair that is not ordered by the referential order
+(DESIGN.md §8) as a :class:`RaceReport`.
+"""
+
+from repro.sanitize.detector import Sanitizer
+from repro.sanitize.report import Race, RaceReport
+
+__all__ = ["Sanitizer", "Race", "RaceReport"]

@@ -1,0 +1,38 @@
+# Seeded race: the parent stores to `x` only *after* the p_jalr (in its
+# continuation), while the child loads `x`.  The fork/call edges cover
+# only instructions program-before the p_fc / p_jalr, so the late store
+# is unordered with the child's read.
+#   expected pair: race_a (parent sw) <-> race_b (child lw) on x
+main:
+    li   t0, -1
+    addi sp, sp, -8
+    sw   ra, 0(sp)
+    sw   t0, 4(sp)
+    p_set t0, t0
+    p_fc t6
+    la   t1, rp
+    p_swcv t6, t1, 0
+    p_swcv t6, t0, 4
+    p_merge t0, t0, t6
+    p_syncm
+    la   a0, parent
+    p_jalr ra, t0, a0
+    # ---- child hart ----
+    p_lwcv ra, 0
+    p_lwcv t0, 4
+    la   t2, x
+race_b:
+    lw   t3, 0(t2)
+    p_ret
+rp: lw  ra, 0(sp)
+    lw  t0, 4(sp)
+    addi sp, sp, 8
+    p_ret
+parent:
+    la   t2, x
+    li   t3, 5
+race_a:
+    sw   t3, 0(t2)
+    p_ret
+.data
+x:  .word 0

@@ -1,0 +1,18 @@
+/* Race-free twin of omp_neighbor_read.c: members write only their own
+ * slot; main reads the whole array *after* the region, ordered through
+ * the p_ret join edges. */
+#include <det_omp.h>
+#define N 4
+
+int a[N];
+int total;
+
+void main() {
+    int t;
+    omp_set_num_threads(N);
+    #pragma omp parallel for
+    for (t = 0; t < N; t++)
+        a[t] = t;
+    for (t = 0; t < N; t++)
+        total = total + a[t];
+}

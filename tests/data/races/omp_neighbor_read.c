@@ -1,0 +1,19 @@
+/* Seeded race: member t writes a[t] but also reads its *mirror*
+ * member's slot a[N-1-t] inside the same region — the read is
+ * unordered with the mirror member's write.  Expected: one pair on
+ * the `a` array, both endpoints inside omp region 0. */
+#include <det_omp.h>
+#define N 4
+
+int a[N];
+int b[N];
+
+void main() {
+    int t;
+    omp_set_num_threads(N);
+    #pragma omp parallel for
+    for (t = 0; t < N; t++) {
+        a[t] = t;
+        b[t] = a[(N - 1) - t];
+    }
+}

@@ -1,0 +1,14 @@
+/* Race-free twin of omp_shared_scalar.c: each member owns slot a[t],
+ * so no two harts touch the same word. */
+#include <det_omp.h>
+#define N 4
+
+int a[N];
+
+void main() {
+    int t;
+    omp_set_num_threads(N);
+    #pragma omp parallel for
+    for (t = 0; t < N; t++)
+        a[t] = t;
+}

@@ -1,0 +1,16 @@
+/* Seeded race: every team member read-modify-writes the shared scalar
+ * `sum` inside the parallel for with no reduction/ordering — the
+ * classic lost-update bug.  Expected: a write-read and a write-write
+ * pair on `sum`, both endpoints inside omp region 0. */
+#include <det_omp.h>
+#define N 4
+
+int sum;
+
+void main() {
+    int t;
+    omp_set_num_threads(N);
+    #pragma omp parallel for
+    for (t = 0; t < N; t++)
+        sum = sum + t;
+}

@@ -1,0 +1,36 @@
+/* Message-passing through a polled flag word (the paper's §6 request
+ * word protocol in miniature).  The producer publishes `value`, then
+ * sets `flag`; the consumer spins on `flag` and reads `value`.
+ *
+ * Without a synchronization-cell annotation the flag handoff is
+ * invisible to the referential order: expected races on `flag`
+ * (write-read) and `value` (write-read).  Declared as a sync cell
+ * (repro check --sync flag), the store becomes a release and the
+ * polling load an acquire, which orders the `value` transfer — clean. */
+#include <det_omp.h>
+
+int flag;
+int value;
+int out;
+
+void producer(void) {
+    value = 42;
+    __p_syncm();
+    flag = 1;
+}
+
+void consumer(void) {
+    while (flag == 0)
+        ;
+    out = value;
+}
+
+void main() {
+    #pragma omp parallel sections
+    {
+        #pragma omp section
+        { producer(); }
+        #pragma omp section
+        { consumer(); }
+    }
+}

@@ -1,0 +1,39 @@
+# Race-free twin of rw_unsynced.s: the child's p_swre / the parent's
+# p_lwre form a transmission happens-before edge, so the store to `x`
+# (program-before the p_swre) is ordered before the parent's load
+# (program-after the p_lwre).
+main:
+    li   t0, -1
+    addi sp, sp, -8
+    sw   ra, 0(sp)
+    sw   t0, 4(sp)
+    p_set t0, t0
+    p_fc t6
+    la   t1, rp
+    p_swcv t6, t1, 0
+    p_swcv t6, t0, 4
+    p_merge t0, t0, t6
+    p_syncm
+    la   a0, parent
+    p_jalr ra, t0, a0
+    # ---- child hart ----
+    p_lwcv ra, 0
+    p_lwcv t0, 4
+    la   t2, x
+    li   t3, 9
+    sw   t3, 0(t2)
+    li   t4, 0
+    li   t3, 1
+    p_swre t4, t3, 0
+    p_ret
+rp: lw  ra, 0(sp)
+    lw  t0, 4(sp)
+    addi sp, sp, 8
+    p_ret
+parent:
+    p_lwre t1, 0
+    la   t2, x
+    lw   t3, 0(t2)
+    p_ret
+.data
+x:  .word 0

@@ -1,0 +1,38 @@
+# Seeded race: the child stores to `x` and the parent loads it with no
+# transmission edge between them — the parent's read is unordered with
+# the child's write (the load may observe either value depending on
+# physical timing; referentially it is a race).
+#   expected pair: race_a (parent lw) <-> race_b (child sw) on x
+main:
+    li   t0, -1
+    addi sp, sp, -8
+    sw   ra, 0(sp)
+    sw   t0, 4(sp)
+    p_set t0, t0
+    p_fc t6
+    la   t1, rp
+    p_swcv t6, t1, 0
+    p_swcv t6, t0, 4
+    p_merge t0, t0, t6
+    p_syncm
+    la   a0, parent
+    p_jalr ra, t0, a0
+    # ---- child hart ----
+    p_lwcv ra, 0
+    p_lwcv t0, 4
+    la   t2, x
+    li   t3, 9
+race_b:
+    sw   t3, 0(t2)
+    p_ret
+rp: lw  ra, 0(sp)
+    lw  t0, 4(sp)
+    addi sp, sp, 8
+    p_ret
+parent:
+    la   t2, x
+race_a:
+    lw   t3, 0(t2)
+    p_ret
+.data
+x:  .word 0

@@ -1,0 +1,41 @@
+# Seeded race: write-write on `x`.
+#
+# The parent continues at `parent` after the p_jalr while the forked
+# child runs the fall-through block; both store to the same global word
+# with no p_swre/p_lwre (or join) edge between the stores.
+#   expected pair: race_a (parent sw) <-> race_b (child sw) on x
+main:
+    li   t0, -1
+    addi sp, sp, -8
+    sw   ra, 0(sp)
+    sw   t0, 4(sp)
+    p_set t0, t0
+    p_fc t6
+    la   t1, rp
+    p_swcv t6, t1, 0
+    p_swcv t6, t0, 4
+    p_merge t0, t0, t6
+    p_syncm
+    la   a0, parent
+    p_jalr ra, t0, a0
+    # ---- child hart ----
+    p_lwcv ra, 0
+    p_lwcv t0, 4
+    la   t2, x
+    li   t3, 2
+race_b:
+    sw   t3, 0(t2)
+    p_ret
+rp: lw  ra, 0(sp)
+    lw  t0, 4(sp)
+    addi sp, sp, 8
+    p_ret
+parent:
+    la   t2, x
+    li   t3, 7
+race_a:
+    sw   t3, 0(t2)
+    p_ret
+.data
+x:  .word 0
+y:  .word 0

@@ -10,10 +10,7 @@ from repro.compiler import compile_to_program
 from repro.machine import LBP, Params
 from helpers import run_c, word
 
-
-def test_figure_1_program_shape():
-    """Figure 1: omp_set_num_threads + parallel for over a thread function."""
-    source = """
+FIGURE_1_SOURCE = """
 #include <det_omp.h>
 #define NUM_HART 8
 
@@ -32,14 +29,8 @@ void main() {
     /* ... (2); */
 }
 """
-    program, machine, stats = run_c(source, cores=2)
-    assert [word(machine, program, "done", i) for i in range(8)] == [1] * 8
-    assert stats.forks == 7
 
-
-def test_figure_18_verbatim_matmul():
-    """Figure 18's source, spacing and idioms preserved (h=16 instance)."""
-    source = """
+FIGURE_18_SOURCE = """
 #include <stdio.h>
 #include <det_omp.h>
 #define LINE_X 16
@@ -73,21 +64,8 @@ void main(){
         thread(t);
 }
 """
-    program, machine, stats = run_c(source, cores=4, max_cycles=10_000_000)
-    base = program.symbol("Z")
-    for index in (0, 5, 100, 255):
-        assert machine.read_word(base + 4 * index) == 8  # COLUMN_X ones
-    assert stats.forks == 15
-    assert stats.joins == 1
 
-
-def test_figure_16_structure_with_sections():
-    """Figure 16's while-loop of parallel sections + fusion, 2 rounds."""
-    from repro.machine.io import ScriptedInput, attach_input
-    from repro import memmap
-
-    dev = memmap.global_bank_base(3) + 0x80000
-    source = """
+FIGURE_16_TEMPLATE = """
 #include <det_omp.h>
 int s[4], f;
 int log_[2];
@@ -117,22 +95,9 @@ void main() {
         log_[r] = f;                /* set_actuator stand-in */
     }
 }
-""" % {"s0": dev, "v0": dev + 4, "s1": dev + 16, "v1": dev + 20,
-       "s2": dev + 32, "v2": dev + 36, "s3": dev + 48, "v3": dev + 52}
-    program = compile_to_program(source, "fig16.c")
-    machine = LBP(Params(num_cores=4)).load(program)
-    for i in range(4):
-        attach_input(machine, dev + 16 * i,
-                     ScriptedInput([(100 + 7 * i, 10 + i), (600 + 5 * i, 20 + i)]))
-    machine.run(max_cycles=5_000_000)
-    base = program.symbol("log_")
-    assert machine.read_word(base) == (10 + 11 + 12 + 13) // 4
-    assert machine.read_word(base + 4) == (20 + 21 + 22 + 23) // 4
+"""
 
-
-def test_figure_2_style_explicit_thread_function_with_struct():
-    """Figure 2's struct-argument pattern, via globals (shared memory)."""
-    source = """
+FIGURE_2_SOURCE = """
 #include <det_omp.h>
 typedef struct type_s { int t; int scale; } type_t;
 type_t st;
@@ -151,5 +116,51 @@ void main() {
         thread(&st, t);
 }
 """
-    program, machine, _ = run_c(source, cores=1)
+
+
+def figure_16_source(dev):
+    """Figure 16's source with the device window based at *dev*."""
+    return FIGURE_16_TEMPLATE % {
+        "s0": dev, "v0": dev + 4, "s1": dev + 16, "v1": dev + 20,
+        "s2": dev + 32, "v2": dev + 36, "s3": dev + 48, "v3": dev + 52}
+
+
+def test_figure_1_program_shape():
+    """Figure 1: omp_set_num_threads + parallel for over a thread function."""
+    program, machine, stats = run_c(FIGURE_1_SOURCE, cores=2)
+    assert [word(machine, program, "done", i) for i in range(8)] == [1] * 8
+    assert stats.forks == 7
+
+
+def test_figure_18_verbatim_matmul():
+    """Figure 18's source, spacing and idioms preserved (h=16 instance)."""
+    program, machine, stats = run_c(FIGURE_18_SOURCE, cores=4,
+                                    max_cycles=10_000_000)
+    base = program.symbol("Z")
+    for index in (0, 5, 100, 255):
+        assert machine.read_word(base + 4 * index) == 8  # COLUMN_X ones
+    assert stats.forks == 15
+    assert stats.joins == 1
+
+
+def test_figure_16_structure_with_sections():
+    """Figure 16's while-loop of parallel sections + fusion, 2 rounds."""
+    from repro.machine.io import ScriptedInput, attach_input
+    from repro import memmap
+
+    dev = memmap.global_bank_base(3) + 0x80000
+    program = compile_to_program(figure_16_source(dev), "fig16.c")
+    machine = LBP(Params(num_cores=4)).load(program)
+    for i in range(4):
+        attach_input(machine, dev + 16 * i,
+                     ScriptedInput([(100 + 7 * i, 10 + i), (600 + 5 * i, 20 + i)]))
+    machine.run(max_cycles=5_000_000)
+    base = program.symbol("log_")
+    assert machine.read_word(base) == (10 + 11 + 12 + 13) // 4
+    assert machine.read_word(base + 4) == (20 + 21 + 22 + 23) // 4
+
+
+def test_figure_2_style_explicit_thread_function_with_struct():
+    """Figure 2's struct-argument pattern, via globals (shared memory)."""
+    program, machine, _ = run_c(FIGURE_2_SOURCE, cores=1)
     assert [word(machine, program, "out", i) for i in range(4)] == [0, 7, 14, 21]

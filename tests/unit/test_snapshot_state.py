@@ -16,7 +16,7 @@ import pytest
 
 from repro.asm import assemble
 from repro.fastsim import FastLBP
-from repro.machine import LBP, Params
+from repro.machine import LBP, MachineError, Params
 from repro.snapshot import (
     SIM_VERSION,
     SNAPSHOT_FORMAT_VERSION,
@@ -308,6 +308,58 @@ def test_cache_root_from_environment(monkeypatch, tmp_path):
     monkeypatch.delenv("LBP_CACHE_DIR")
     monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
     assert default_cache_root() == str(tmp_path / "xdg" / "lbp-repro")
+
+
+# ---- sanitizer state ---------------------------------------------------------
+
+RACY_CORPUS = os.path.join(
+    os.path.dirname(__file__), "..", "data", "races", "ww_conflict.s")
+
+
+def _sanitized_racy(stop_at_cycle=None):
+    with open(RACY_CORPUS) as f:
+        program = assemble(f.read())
+    machine = LBP(Params(num_cores=1), sanitize=True).load(program)
+    machine.run(max_cycles=100_000, stop_at_cycle=stop_at_cycle)
+    return machine
+
+
+def test_sanitizer_report_survives_snapshot_roundtrip():
+    """Pause a sanitized run mid-flight, restore, finish: the resumed
+    run must produce byte-for-byte the report of the unbroken run."""
+    unbroken = _sanitized_racy()
+    assert unbroken.halted
+    reference = unbroken.race_report().to_json()
+    assert json.loads(reference)["clean"] is False  # a real race survives
+
+    paused = _sanitized_racy(stop_at_cycle=25)
+    assert not paused.halted
+    resumed = restore(snapshot(paused))
+    assert resumed.sanitizer is not None
+    assert resumed.sanitizer is not paused.sanitizer
+    resumed.run(max_cycles=100_000)
+    paused.run(max_cycles=100_000)  # the original finishes too
+    assert resumed.race_report().to_json() == reference
+    assert paused.race_report().to_json() == reference
+
+
+def test_sanitizer_observations_in_state_dict():
+    machine = _sanitized_racy(stop_at_cycle=25)
+    state = machine.state_dict()
+    assert state["sanitize"] is not None
+    copy = LBP(Params(num_cores=1), sanitize=True).load(machine.program)
+    copy.load_state_dict(state)
+    assert list(copy.sanitizer.observations()) == list(
+        machine.sanitizer.observations())
+
+
+def test_unsanitized_snapshot_restores_without_sanitizer():
+    machine = _paused()
+    assert machine.state_dict()["sanitize"] is None
+    restored = restore(snapshot(machine))
+    assert restored.sanitizer is None
+    with pytest.raises(MachineError, match="sanitize"):
+        restored.race_report()
 
 
 # ---- component state dicts ---------------------------------------------------
