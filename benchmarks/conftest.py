@@ -64,8 +64,32 @@ def _extract_counts(result):
     return 0, 0
 
 
+def _extract_stalls(result):
+    """Merged stall breakdown found in a benchmark's result value.
+
+    Result rows produced under stall attribution (``metrics=True``) carry
+    a ``stalls`` dict; sum them across whatever container shape the
+    benchmark returned.  Returns ``{}`` when the run was unmetered.
+    """
+    merged = {}
+    if isinstance(result, dict):
+        stalls = result.get("stalls")
+        if isinstance(stalls, dict):
+            for reason, count in stalls.items():
+                merged[reason] = merged.get(reason, 0) + count
+            return merged
+        result = result.values()
+    if isinstance(result, (list, tuple)) or not isinstance(result, str) \
+            and hasattr(result, "__iter__"):
+        for item in result:
+            for reason, count in _extract_stalls(item).items():
+                merged[reason] = merged.get(reason, 0) + count
+    return merged
+
+
 def _record_perf(experiment, wall, result, jobs=None, extra=None):
     cycles, retired = _extract_counts(result)
+    stalls = _extract_stalls(result)
     # a wall time at (or below) the clock's resolution is noise — a warm
     # cache hit, say — and dividing by it fabricates absurd throughput;
     # record the raw time at microsecond precision and null the rates
@@ -80,6 +104,8 @@ def _record_perf(experiment, wall, result, jobs=None, extra=None):
         "retired_per_s": round(retired / wall) if measurable else None,
         "date": time.strftime("%Y-%m-%d %H:%M:%S"),
     }
+    if stalls:
+        entry["stalls"] = stalls
     if jobs is not None:
         entry["jobs"] = jobs
     if extra:

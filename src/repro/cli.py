@@ -12,6 +12,9 @@ Usage (installed as ``python -m repro``):
     python -m repro run prog.c --shards 4        # space-sharded, bit-identical
     python -m repro run prog.c --trace --trace-limit 50
     python -m repro run prog.c --trace-kinds mem_store,fork
+    python -m repro run prog.c --metrics         # stall attribution table
+    python -m repro run prog.c --metrics-out m.json --stats-json s.json
+    python -m repro observe prog.c --perfetto out.json  # ui.perfetto.dev
     python -m repro run prog.c --print total,v:8 # dump globals after the run
     python -m repro run prog.c --profile         # cProfile the simulation
     python -m repro run prog.c --snapshot-every 100000 --snapshot-dir snaps
@@ -65,11 +68,25 @@ def cmd_run(args):
         print("error: --shards requires the cycle simulator (--sim cycle)",
               file=sys.stderr)
         return 2
+    want_metrics = bool(args.metrics or args.metrics_out)
+    if want_metrics and args.sim == "fast":
+        print("error: --metrics requires the cycle simulator (--sim cycle): "
+              "stall attribution charges stage-cycles the fast simulator "
+              "never models", file=sys.stderr)
+        return 2
     if args.resume:
         from repro.snapshot import load_snapshot
 
         machine = load_snapshot(args.resume)
         program = machine.program
+        if want_metrics and machine.metrics is None:
+            # the charge history starts at cycle 0 — an unmetered
+            # snapshot cannot grow a consistent stall table mid-run
+            print("error: --metrics cannot be enabled mid-run; the "
+                  "snapshot was taken without metrics (a metered "
+                  "snapshot resumes metered automatically)",
+                  file=sys.stderr)
+            return 2
         if args.shards is not None and args.shards != 1:
             # a snapshot restores a plain LBP; wrap it so the resumed run
             # (bit-identical either way) executes across shard workers
@@ -92,8 +109,9 @@ def cmd_run(args):
         if args.sim == "fast":
             machine = FastLBP(params)
         else:
+            metrics = args.metrics_interval if want_metrics else None
             machine = LBP(params, trace=Trace(trace_enabled, kinds=trace_kinds),
-                          shards=args.shards)
+                          shards=args.shards, metrics=metrics)
         machine.load(program)
 
     run_kwargs = {"max_cycles": args.max_cycles}
@@ -151,6 +169,21 @@ def cmd_run(args):
           % (stats.local_accesses, stats.remote_accesses))
     print("teams    : %d forks, %d joins" % (stats.forks, stats.joins))
 
+    if args.stats_json:
+        _write_stats_json(machine, args.stats_json)
+        print("stats    : %s" % args.stats_json)
+    if getattr(machine, "metrics", None) is not None:
+        from repro.observe import stall_table, write_report_json
+
+        report = machine.metrics_report()
+        print("--- stall attribution ---")
+        for line in stall_table(report):
+            print(line)
+        if args.metrics_out:
+            write_report_json(report, args.metrics_out)
+            print("metrics  : %s (%d windows)"
+                  % (args.metrics_out, len(report["windows"])))
+
     if args.print:
         for spec in args.print.split(","):
             name, _, count_text = spec.partition(":")
@@ -169,6 +202,68 @@ def cmd_run(args):
         print("--- trace (%d events) ---" % len(machine.trace))
         for line in machine.trace.formatted(limit=args.trace_limit):
             print(line)
+    return 0
+
+
+def _write_stats_json(machine, path):
+    """Dump the full MachineStats (per-hart retirement, memory mix,
+    forks/joins) as stable-keyed JSON."""
+    import json
+
+    stats = machine.stats
+    payload = {
+        "summary": stats.summary(),
+        "halt_reason": getattr(machine, "halt_reason", None),
+        "num_cores": stats.num_cores,
+        "harts_per_core": stats.harts_per_core,
+        "retired_by_core": stats.retired_by_core(),
+        "state": stats.state_dict(),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+
+
+def cmd_observe(args):
+    """Run under full telemetry; export Perfetto / CSV / JSON views."""
+    from repro.observe import (
+        stall_table,
+        write_chrome_trace,
+        write_report_json,
+        write_windows_csv,
+    )
+
+    program = _build_program(args.source)
+    # the Perfetto hart tracks only need the team-protocol events; a
+    # full trace is available for debugging but costs memory on long runs
+    kinds = None if args.full_trace else (
+        "start", "join", "p_ret", "fork", "ending_signal")
+    machine = LBP(
+        Params(num_cores=args.cores, trace_enabled=True),
+        trace=Trace(True, kinds=kinds),
+        shards=args.shards,
+        metrics=args.metrics_interval,
+    ).load(program)
+    stats = machine.run(max_cycles=args.max_cycles)
+    report = machine.metrics_report()
+
+    print("halt     :", machine.halt_reason)
+    print("cycles   :", stats.cycles)
+    print("retired  :", stats.retired)
+    print("IPC      : %.2f (peak %d)" % (stats.ipc, machine.params.num_cores))
+    print("--- stall attribution ---")
+    for line in stall_table(report):
+        print(line)
+    if args.perfetto:
+        count = write_chrome_trace(machine, args.perfetto)
+        print("perfetto : %s (%d events; open in ui.perfetto.dev)"
+              % (args.perfetto, count))
+    if args.csv:
+        write_windows_csv(report, args.csv)
+        print("csv      : %s (%d windows)" % (args.csv, len(report["windows"])))
+    if args.json:
+        write_report_json(report, args.json)
+        print("json     : %s" % args.json)
     return 0
 
 
@@ -203,6 +298,10 @@ def cmd_experiments(args):
     from repro.eval import format_rows, run_experiments, run_matmul_experiment
     from repro.workloads.matmul import MATMUL_VERSIONS
 
+    if args.metrics and args.sim == "fast":
+        print("error: --metrics requires the cycle simulator (--sim cycle)",
+              file=sys.stderr)
+        return 2
     cache = None
     if not args.no_cache:
         from repro.snapshot import RunCache
@@ -213,6 +312,10 @@ def cmd_experiments(args):
     extra = {}
     if args.shards is not None and args.shards != 1:
         extra["shards"] = args.shards
+    if args.metrics:
+        # metrics change the row (it grows a stall breakdown), so they
+        # are a real task argument and a run-cache key component
+        extra["metrics"] = True
     tasks = [
         (version, run_matmul_experiment,
          (version, args.h, args.cores, args.scale, args.sim), extra)
@@ -286,6 +389,19 @@ def main(argv=None):
                        help="dump globals after the run")
     p_run.add_argument("--profile", action="store_true",
                        help="run under cProfile; print top-20 cumulative")
+    p_run.add_argument("--metrics", action="store_true",
+                       help="stall attribution + windowed metrics (cycle "
+                            "sim; zero perturbation — traces stay "
+                            "bit-exact)")
+    p_run.add_argument("--metrics-interval", type=int, default=4096,
+                       metavar="K", help="sampling window, in cycles")
+    p_run.add_argument("--metrics-out", metavar="PATH",
+                       help="write the metrics report as JSON "
+                            "(implies --metrics)")
+    p_run.add_argument("--stats-json", metavar="PATH",
+                       help="dump the full MachineStats (per-hart "
+                            "retirement, memory mix, forks/joins) as "
+                            "stable-keyed JSON")
     p_run.add_argument("--resume", metavar="SNAPSHOT",
                        help="restore a snapshot file and continue the run "
                             "(bit-exact; cycle sim only)")
@@ -299,6 +415,29 @@ def main(argv=None):
     p_run.add_argument("--snapshot-dir", default="snapshots",
                        help="directory for --snapshot-every files")
     p_run.set_defaults(func=cmd_run)
+
+    p_obs = sub.add_parser(
+        "observe",
+        help="run under full telemetry; export Perfetto/CSV/JSON views")
+    p_obs.add_argument("source", help=".c (DetC) or .s (assembly) file")
+    p_obs.add_argument("--cores", type=int, default=4)
+    p_obs.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="space-shard the metered run (reports are "
+                            "byte-identical for any N)")
+    p_obs.add_argument("--max-cycles", type=int, default=200_000_000)
+    p_obs.add_argument("--metrics-interval", type=int, default=4096,
+                       metavar="K", help="sampling window, in cycles")
+    p_obs.add_argument("--perfetto", metavar="PATH",
+                       help="write Chrome trace-event JSON "
+                            "(open in ui.perfetto.dev)")
+    p_obs.add_argument("--csv", metavar="PATH",
+                       help="write the windowed metrics as CSV")
+    p_obs.add_argument("--json", metavar="PATH",
+                       help="write the full metrics report as JSON")
+    p_obs.add_argument("--full-trace", action="store_true",
+                       help="record every event kind, not just the team "
+                            "protocol (more memory, richer trace)")
+    p_obs.set_defaults(func=cmd_observe)
 
     p_check = sub.add_parser(
         "check",
@@ -333,6 +472,9 @@ def main(argv=None):
     p_exp.add_argument("--jobs", type=int, default=None,
                        help="worker processes (default: LBP_JOBS or the "
                             "CPU affinity count)")
+    p_exp.add_argument("--metrics", action="store_true",
+                       help="record stall breakdowns per version (cycle "
+                            "sim; rows grow a 'stalls' column)")
     p_exp.add_argument("--no-cache", action="store_true",
                        help="always simulate; skip the run cache")
     p_exp.add_argument("--cache-dir", default=None,

@@ -7,28 +7,33 @@ from repro.workloads.matmul import MATMUL_VERSIONS, matmul_source, verify_matmul
 
 
 def run_matmul_experiment(version, h, num_cores, scale=1, simulator="cycle",
-                          max_cycles=500_000_000, shards=None):
+                          max_cycles=500_000_000, shards=None, metrics=False):
     """Compile, run and verify one matmul version; returns a result row.
 
     *shards* (cycle simulator only) runs the space-sharded engine; the
     results are bit-identical to ``shards=None``, so the row is the same
-    either way — only the wall time changes.
+    either way — only the wall time changes.  *metrics* (cycle simulator
+    only; True or a window interval) runs under stall attribution and
+    grows the row a ``stalls`` breakdown plus ``stall_cycles`` — the
+    "why is it slow" column of the BENCH records.
     """
     program = compile_to_program(
         matmul_source(version, h, scale=scale), "matmul_%s.c" % version
     )
     params = Params(num_cores=num_cores)
     if simulator == "cycle":
-        machine = LBP(params, shards=shards).load(program)
+        machine = LBP(params, shards=shards, metrics=metrics).load(program)
     elif simulator == "fast":
         if shards not in (None, 1):
             raise ValueError("shards requires the cycle simulator")
+        if metrics:
+            raise ValueError("metrics requires the cycle simulator")
         machine = FastLBP(params).load(program)
     else:
         raise ValueError("simulator must be 'cycle' or 'fast'")
     stats = machine.run(max_cycles=max_cycles)
     verify_matmul(machine, program, version, h, scale=scale)
-    return {
+    row = {
         "version": version,
         "h": h,
         "cores": num_cores,
@@ -40,6 +45,12 @@ def run_matmul_experiment(version, h, num_cores, scale=1, simulator="cycle",
         "local": stats.local_accesses,
         "remote": stats.remote_accesses,
     }
+    if metrics:
+        report = machine.metrics_report()
+        row["stalls"] = report["stalls"]
+        row["stall_cycles"] = report["stall_cycles"]
+        row["link_wait"] = report["link_wait"]
+    return row
 
 
 def run_matmul_figure(h, num_cores, scale=1, simulator="cycle",
@@ -56,7 +67,10 @@ def format_rows(rows, paper=None, title=""):
     lines = []
     if title:
         lines.append(title)
+    with_stalls = any("stalls" in row for row in rows.values())
     header = "%-12s %12s %8s %12s" % ("version", "cycles", "ipc", "retired")
+    if with_stalls:
+        header += "   %-24s" % "top stall"
     if paper is not None:
         header += "   | %12s %8s %12s" % ("paper-cyc", "p-ipc", "p-retired")
     lines.append(header)
@@ -65,6 +79,8 @@ def format_rows(rows, paper=None, title=""):
         line = "%-12s %12d %8.2f %12d" % (
             version, row["cycles"], row["ipc"], row["retired"]
         )
+        if with_stalls:
+            line += "   %-24s" % _top_stall(row)
         if paper is not None:
             ref = paper["rows"].get(version, {})
             line += "   | %12s %8s %12s" % (
@@ -76,6 +92,16 @@ def format_rows(rows, paper=None, title=""):
         for relation in paper["relations"]:
             lines.append("  - " + relation)
     return "\n".join(lines)
+
+
+def _top_stall(row):
+    """The dominant stall reason of a metered row, as 'reason xx.x%'."""
+    stalls = row.get("stalls")
+    if not stalls:
+        return "-"
+    name, value = max(stalls.items(), key=lambda item: (item[1], item[0]))
+    total = row["stall_cycles"] + row["retired"]
+    return "%s %.1f%%" % (name, 100.0 * value / total if total else 0.0)
 
 
 def _fmt(value):

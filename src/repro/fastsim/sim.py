@@ -101,7 +101,7 @@ class FastHart:
 class FastLBP:
     """Drop-in (API-compatible subset) fast simulator."""
 
-    def __init__(self, params=None, sanitize=False):
+    def __init__(self, params=None, sanitize=False, metrics=None):
         if sanitize:
             raise NotImplementedError(
                 "FastLBP does not support sanitize=True: the referential-"
@@ -109,6 +109,14 @@ class FastLBP:
                 "per-instruction observation hooks (rename tags, X_PAR "
                 "edge events); run the cycle simulator (LBP) instead"
             )
+        if metrics:
+            raise NotImplementedError(
+                "FastLBP does not support metrics: stall attribution "
+                "charges stage-cycles the fast simulator never models; "
+                "run the cycle simulator (LBP) instead"
+            )
+        #: API parity with LBP (always None: no telemetry on the fast sim)
+        self.metrics = None
         self.params = params or Params()
         #: API parity with LBP (always None: no detector on the fast sim)
         self.sanitizer = None

@@ -384,10 +384,19 @@ class Core:
             if hart.pc is not None or hart.rob or hart.fetch_buf is not None:
                 busy = True
                 break
-        if not busy:
-            return False
         machine = self.machine
+        metrics = machine.metrics
+        if not busy:
+            if metrics is not None:
+                # the run loop gates this core off from the next cycle on;
+                # this cycle's stage slot is the first gated-idle charge
+                metrics.idle(self.index, machine.cycle, 1)
+            return False
         cycle = machine.cycle
+        if metrics is not None and cycle >= metrics.edges[self.index]:
+            # close finished sampling windows before this cycle's charges
+            metrics.roll(self.index, cycle)
+        committed = False
 
         # ---- commit ----
         for h in _ORDER[self._rr_commit]:
@@ -410,6 +419,7 @@ class Core:
             self._rr_commit = (h + 1) & 3
             rob.pop(0)
             hart.stats.retired += 1
+            committed = True
             low = head.low
             if low.is_ebreak:
                 machine.halt("ebreak")
@@ -590,6 +600,8 @@ class Core:
                 hart.fetch_buf = (pc, low)
                 hart.awaiting_nextpc = True  # suspended until next pc known
                 break
+        if metrics is not None and not committed:
+            metrics.stall(self, cycle)
         return True
 
     def any_activity_possible(self):

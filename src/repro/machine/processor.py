@@ -178,6 +178,8 @@ def _ev_rrep_load(machine, src, hart_gid, addr, value):
     hart = machine.hart_by_gid(hart_gid)
     hart.rb.fill(value, machine.cycle)
     hart.outstanding_mem -= 1
+    if machine.metrics is not None:
+        machine.metrics.remote_done(src, hart_gid)
     machine.trace.record(
         machine.cycle, src, hart.index, "mem_load",
         "addr 0x%x -> 0x%x" % (addr, hart.rb.value),
@@ -207,6 +209,8 @@ def _ev_bank_write(machine, owner, addr, value, width):
 def _ev_rack_store(machine, src, hart_gid, addr, value, tag):
     hart = machine.hart_by_gid(hart_gid)
     hart.outstanding_mem -= 1
+    if machine.metrics is not None:
+        machine.metrics.remote_done(src, hart_gid)
     _rob_by_tag(hart, tag).done = True
     machine.trace.record(
         machine.cycle, src, hart.index, "mem_store",
@@ -237,6 +241,8 @@ def _ev_cv_apply(machine, core_index, addr, value):
 def _ev_rack_cv(machine, src, hart_gid, target_gid, offset, value, tag):
     hart = machine.hart_by_gid(hart_gid)
     hart.outstanding_mem -= 1
+    if machine.metrics is not None:
+        machine.metrics.remote_done(src, hart_gid)
     _rob_by_tag(hart, tag).done = True
     machine.trace.record(
         machine.cycle, src, hart.index, "cv_write",
@@ -382,15 +388,17 @@ class LBP:
     interface, bit-identical results, N worker processes.
     """
 
-    def __new__(cls, params=None, trace=None, shards=None, sanitize=False):
+    def __new__(cls, params=None, trace=None, shards=None, sanitize=False,
+                metrics=None):
         if cls is LBP and shards is not None and shards != 1:
             from repro.parsim import ShardedLBP
 
             return ShardedLBP(params, trace=trace, shards=shards,
-                              sanitize=sanitize)
+                              sanitize=sanitize, metrics=metrics)
         return super().__new__(cls)
 
-    def __init__(self, params=None, trace=None, shards=None, sanitize=False):
+    def __init__(self, params=None, trace=None, shards=None, sanitize=False,
+                 metrics=None):
         self.params = params or Params()
         self.stats = MachineStats(self.params.num_cores, self.params.harts_per_core)
         # explicit None test: an empty Trace is falsy (len() == 0)
@@ -404,10 +412,22 @@ class LBP:
             self.sanitizer = Sanitizer()
         else:
             self.sanitizer = None
+        #: stall attribution + windowed sampler (observation only, like
+        #: the sanitizer: telemetry never perturbs the simulation)
+        self.metrics = None
         #: number of cores whose ``active`` gating flag is set; kept in
         #: lockstep with the flags by Core.activate and the run loop
         self._num_active = 0
         self.cores = [Core(i, self) for i in range(self.params.num_cores)]
+        if metrics:
+            from repro.observe import Metrics
+
+            if isinstance(metrics, Metrics):
+                self._attach_metrics(metrics)
+            elif metrics is True:
+                self._attach_metrics(Metrics())
+            else:
+                self._attach_metrics(Metrics(interval=int(metrics)))
         self.code = {}
         #: {pc: LoweredInstr} built at load time (machine/lowered.py)
         self.lowered = {}
@@ -457,6 +477,16 @@ class LBP:
         """Map a device at global address *addr* (word-granular MMIO)."""
         self.mmio[addr] = device
 
+    def _attach_metrics(self, metrics):
+        """Bind (or unbind, with None) the telemetry object: the machine
+        attribute the tick hot path reads, plus each core's link-scheduler
+        observer (router backpressure attribution)."""
+        self.metrics = metrics
+        if metrics is not None:
+            metrics.bind(self)
+        for core in self.cores:
+            core.links.observe(metrics, core.index)
+
     # ---- snapshot/restore ----------------------------------------------------
 
     def state_dict(self):
@@ -483,6 +513,8 @@ class LBP:
             "trace": self.trace.state_dict(),
             "sanitize": (None if self.sanitizer is None
                          else self.sanitizer.state_dict()),
+            "observe": (None if self.metrics is None
+                        else self.metrics.state_dict()),
             "cores": [core.state_dict() for core in self.cores],
         }
 
@@ -520,6 +552,17 @@ class LBP:
             # the observation history starts at cycle 0; a machine resumed
             # from an unsanitized snapshot cannot be sanitized mid-run
             self.sanitizer = None
+        obs_state = state.get("observe")
+        if obs_state is not None:
+            from repro.observe import Metrics
+
+            if self.metrics is None:
+                self._attach_metrics(Metrics())
+            self.metrics.load_state_dict(obs_state)
+        else:
+            # same rule as the sanitizer: the charge history starts at
+            # cycle 0, so an unmetered snapshot resumes unmetered
+            self._attach_metrics(None)
         for core, core_state in zip(self.cores, state["cores"]):
             core.load_state_dict(core_state)
         self._num_active = sum(1 for core in self.cores if core.active)
@@ -533,6 +576,8 @@ class LBP:
             "trace": self.trace.domain_state_dict(index),
             "sanitize": (None if self.sanitizer is None
                          else self.sanitizer.domain_state_dict(index)),
+            "observe": (None if self.metrics is None
+                        else self.metrics.domain_state_dict(index)),
             "events": [
                 [cycle, origin, oseq, dst, kind, list(args)]
                 for cycle, origin, oseq, dst, kind, args in sorted(self._events)
@@ -547,6 +592,9 @@ class LBP:
         san_state = state.get("sanitize")
         if self.sanitizer is not None and san_state is not None:
             self.sanitizer.load_domain_state_dict(index, san_state)
+        obs_state = state.get("observe")
+        if self.metrics is not None and obs_state is not None:
+            self.metrics.load_domain_state_dict(index, obs_state)
         self._events = [
             event for event in self._events if event[3] != index
         ]
@@ -682,6 +730,8 @@ class LBP:
                 core.index,
                 (now, "acc", hart.gid, entry.tag, addr, width, 0, entry.pc))
         if remote:
+            if self.metrics is not None:
+                self.metrics.remote_issue(core.index, hart.gid, now, owner)
             t_up = core.links.reserve_path(request_path(core.index, owner), now)
             self.post(owner, t_up, "rreq_load",
                       (core.index, hart.gid, owner, addr, width, low.mnemonic))
@@ -730,6 +780,8 @@ class LBP:
                 core.index,
                 (now, "acc", hart.gid, entry.tag, addr, width, 1, entry.pc))
         if remote:
+            if self.metrics is not None:
+                self.metrics.remote_issue(core.index, hart.gid, now, owner)
             t_up = core.links.reserve_path(request_path(core.index, owner), now)
             self.post(owner, t_up, "rreq_store",
                       (core.index, hart.gid, owner, addr, value, width,
@@ -761,6 +813,8 @@ class LBP:
                       (core.index, addr, value,
                        core.index, hart.gid, target_gid, offset, entry.tag))
         elif target_core_index == core.index + 1:
+            if self.metrics is not None:
+                self.metrics.remote_issue(core.index, hart.gid, now, None)
             t_link = core.links.reserve_path(
                 forward_links(core.index, target_core_index), now)
             hart.outstanding_mem += 1
@@ -908,6 +962,7 @@ class LBP:
         cores = self.cores
         stats = self.stats
         per_core = stats.per_core
+        metrics = self.metrics
         heappop = heapq.heappop
         handlers = EVENT_HANDLERS
         progress_mark = (0, 0)
@@ -959,6 +1014,8 @@ class LBP:
                         self._num_active -= 1
                 else:
                     per_core[core.index].skipped_cycles += 1
+                    if metrics is not None:
+                        metrics.idle(core.index, cycle, 1)
             if self._error is not None:
                 raise MachineError(self._error)
             cycle += 1
@@ -975,6 +1032,9 @@ class LBP:
                     delta = target - cycle
                     for counters in per_core:
                         counters.skipped_cycles += delta
+                    if metrics is not None:
+                        for index in range(len(cores)):
+                            metrics.idle(index, cycle, delta)
                     cycle = target
             self.cycle = cycle
         if self._halt_at is not None:
@@ -1013,6 +1073,19 @@ class LBP:
                 "race_report() needs a machine constructed with "
                 "LBP(sanitize=True)")
         return self.sanitizer.analyze(self.program, self.params, sync=sync)
+
+    # ---- telemetry ------------------------------------------------------------
+
+    def metrics_report(self):
+        """The stall-attribution + windowed-metrics report dict
+        (``metrics=...`` runs only; see repro.observe.build_report)."""
+        if self.metrics is None:
+            raise MachineError(
+                "metrics_report() needs a machine constructed with "
+                "LBP(metrics=...)")
+        from repro.observe import build_report
+
+        return build_report(self)
 
     # ---- debugging / inspection --------------------------------------------------
 

@@ -28,6 +28,16 @@ class LinkScheduler:
     def __init__(self, hop_latency=1):
         self.hop_latency = hop_latency
         self._links = {}
+        # telemetry sink (observation only — never serialized, rebound by
+        # the machine on construction and restore)
+        self._metrics = None
+        self._core_index = None
+
+    def observe(self, metrics, core_index):
+        """Attach (or detach, with None) the telemetry charged with this
+        scheduler's queueing delay."""
+        self._metrics = metrics
+        self._core_index = core_index
 
     def reserve_path(self, links, start):
         """Reserve consecutive slots along *links*, starting after *start*.
@@ -35,11 +45,16 @@ class LinkScheduler:
         Returns the cycle at which the message leaves the last link.
         """
         time = start
+        hop = self.hop_latency
         for link in links:
             port = self._links.get(link)
             if port is None:
                 port = self._links[link] = Port()
-            time = port.reserve(time + self.hop_latency)
+            time = port.reserve(time + hop)
+        if self._metrics is not None and links:
+            delay = time - (start + hop * len(links))
+            if delay > 0:
+                self._metrics.link_wait(self._core_index, delay)
         return time
 
     def state_dict(self):

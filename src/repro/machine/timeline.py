@@ -14,6 +14,8 @@ Legend: ``F`` boot/fork origin, ``s`` started, ``E`` ended, ``J`` join
 received, ``R`` resumed, ``X`` exit.
 """
 
+from repro import memmap
+
 _START_KINDS = {"start", "join"}
 
 
@@ -26,13 +28,20 @@ class HartLane:
         self.marks = []       # (cycle, char)
 
 
-def build_lanes(trace_events, num_harts):
-    """Derive per-hart activity lanes from a trace event list."""
+def build_lanes(trace_events, num_harts, harts_per_core=None):
+    """Derive per-hart activity lanes from a trace event list.
+
+    *harts_per_core* maps a ``(core, hart)`` event pair to its global
+    hart id; pass the machine's param (``print_timeline`` does) — the
+    memmap default only fits default-shaped machines.
+    """
+    if harts_per_core is None:
+        harts_per_core = memmap.HARTS_PER_CORE
     lanes = [HartLane(gid) for gid in range(num_harts)]
     open_since = {}
 
     def gid_of(core, hart):
-        return core * 4 + hart
+        return core * harts_per_core + hart
 
     open_since[0] = 0  # the boot hart runs from cycle 0
     lanes[0].marks.append((0, "F"))
@@ -59,9 +68,9 @@ def build_lanes(trace_events, num_harts):
     return lanes, last
 
 
-def render(trace_events, num_harts, width=72):
+def render(trace_events, num_harts, width=72, harts_per_core=None):
     """Render the timeline as text lines."""
-    lanes, last = build_lanes(trace_events, num_harts)
+    lanes, last = build_lanes(trace_events, num_harts, harts_per_core)
     span = max(last, 1)
     scale = (width - 1) / span
 
@@ -84,5 +93,6 @@ def render(trace_events, num_harts, width=72):
 
 def print_timeline(machine, width=72):
     """Convenience: render a finished machine's trace (must be enabled)."""
-    for line in render(machine.trace.events, machine.params.num_harts, width):
+    for line in render(machine.trace.events, machine.params.num_harts, width,
+                       machine.params.harts_per_core):
         print(line)

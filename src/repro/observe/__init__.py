@@ -1,0 +1,51 @@
+"""Zero-perturbation telemetry: stall attribution, windows, exporters.
+
+Public surface::
+
+    from repro.observe import Metrics
+    machine = LBP(params, metrics=Metrics(interval=4096))
+    machine.run()
+    report = machine.metrics_report()       # build_report(machine)
+    print("\\n".join(stall_table(report)))
+    write_chrome_trace(machine, "trace.json")   # open in ui.perfetto.dev
+
+Every hook is observation-only (see ``observe/metrics.py``): golden
+trace digests are bit-exact with telemetry enabled, and shards=1 vs N
+produce byte-identical reports.
+"""
+
+from repro.observe.export import (
+    build_report,
+    report_json,
+    stall_table,
+    windows_csv,
+    write_report_json,
+    write_windows_csv,
+)
+from repro.observe.metrics import (
+    DEFAULT_INTERVAL,
+    STALL_REASONS,
+    CoreTelemetry,
+    Metrics,
+)
+from repro.observe.perfetto import (
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "DEFAULT_INTERVAL",
+    "STALL_REASONS",
+    "CoreTelemetry",
+    "Metrics",
+    "build_report",
+    "report_json",
+    "stall_table",
+    "windows_csv",
+    "write_report_json",
+    "write_windows_csv",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,166 @@
+"""Chrome trace-event JSON export, loadable in ui.perfetto.dev.
+
+Layout: one *process* per core, one *thread track* per hart (built from
+the team-protocol trace events via ``machine/timeline.py``'s lanes), and
+one extra "metrics" process carrying counter tracks (IPC, active harts,
+memory mix, stall-reason mix) sampled from the windowed metrics.
+
+The exporter emits events lane by lane in ascending hart order with each
+lane's events in cycle order, so the output is deterministic and every
+track's timestamps are monotonic — the two properties
+:func:`validate_chrome_trace` checks (and CI enforces on the uploaded
+artifact).  Timestamps are simulated cycles, presented as microseconds
+(the trace-event format has no unitless time).
+"""
+
+import json
+
+from repro.machine.timeline import build_lanes
+from repro.observe.export import build_report
+from repro.observe.metrics import STALL_REASONS
+
+#: instant-event names per timeline mark character
+_MARK_NAMES = {
+    "F": "boot",
+    "s": "start",
+    "E": "end",
+    "J": "join",
+    "W": "wait",
+    "X": "exit",
+    "f": "fork",
+}
+
+
+def chrome_trace(machine):
+    """Build the trace-event dict for a finished machine (trace enabled)."""
+    params = machine.params
+    hpc = params.harts_per_core
+    events = machine.trace.events
+    lanes, last = build_lanes(events, params.num_harts, hpc)
+    out = []
+    seen_cores = []
+    for lane in lanes:
+        if not lane.intervals and not lane.marks:
+            continue
+        core = lane.gid // hpc
+        if core not in seen_cores:
+            seen_cores.append(core)
+            out.append({
+                "ph": "M", "name": "process_name", "pid": core, "tid": 0,
+                "args": {"name": "core %d" % core},
+            })
+        out.append({
+            "ph": "M", "name": "thread_name", "pid": core, "tid": lane.gid,
+            "args": {"name": "hart %d" % lane.gid},
+        })
+        track = []
+        for begin, end in lane.intervals:
+            track.append((begin, 0, {
+                "ph": "X", "name": "active", "cat": "hart",
+                "pid": core, "tid": lane.gid,
+                "ts": begin, "dur": max(end - begin, 1),
+            }))
+        for cycle, char in lane.marks:
+            track.append((cycle, 1, {
+                "ph": "i", "s": "t",
+                "name": _MARK_NAMES.get(char, char),
+                "cat": "team", "pid": core, "tid": lane.gid, "ts": cycle,
+            }))
+        track.sort(key=lambda item: (item[0], item[1]))
+        out.extend(item[2] for item in track)
+    if machine.metrics is not None:
+        out.extend(_counter_events(machine, pid=params.num_cores))
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.observe",
+            "cycles": machine.stats.cycles or last,
+            "num_cores": params.num_cores,
+            "harts_per_core": hpc,
+        },
+    }
+
+
+def _counter_events(machine, pid):
+    """Counter tracks from the windowed metrics, one process for all."""
+    report = build_report(machine)
+    out = [{
+        "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+        "args": {"name": "metrics (interval %d)" % report["interval"]},
+    }]
+    for row in report["windows"]:
+        ts = row["start"]
+        out.append({"ph": "C", "name": "ipc", "pid": pid, "tid": 0,
+                    "ts": ts, "args": {"ipc": row["ipc"]}})
+        out.append({"ph": "C", "name": "active_harts", "pid": pid, "tid": 0,
+                    "ts": ts, "args": {"harts": row["active_harts"]}})
+        out.append({"ph": "C", "name": "memory_mix", "pid": pid, "tid": 0,
+                    "ts": ts,
+                    "args": {"local": row["local"], "remote": row["remote"]}})
+        out.append({"ph": "C", "name": "stalls", "pid": pid, "tid": 0,
+                    "ts": ts,
+                    "args": {name: row["stalls"][name]
+                             for name in STALL_REASONS}})
+    return out
+
+
+def validate_chrome_trace(data):
+    """Schema check; returns a list of error strings (empty = valid).
+
+    Checks the required keys per event phase and that timestamps are
+    monotonically non-decreasing within each (pid, tid) track — exactly
+    what the exporter guarantees and the CI observe job enforces.
+    """
+    errors = []
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        return ["top level must be a dict with a 'traceEvents' list"]
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be a list"]
+    last_ts = {}
+    for position, event in enumerate(events):
+        where = "traceEvents[%d]" % position
+        if not isinstance(event, dict):
+            errors.append("%s: not an object" % where)
+            continue
+        for key in ("ph", "name", "pid", "tid"):
+            if key not in event:
+                errors.append("%s: missing required key %r" % (where, key))
+        ph = event.get("ph")
+        if ph not in ("M", "X", "i", "C", "B", "E"):
+            errors.append("%s: unknown phase %r" % (where, ph))
+            continue
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append("%s: 'ts' must be a non-negative number" % where)
+            continue
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(
+                    "%s: 'X' events need a non-negative 'dur'" % where)
+        track = (event.get("pid"), event.get("tid"))
+        previous = last_ts.get(track)
+        if previous is not None and ts < previous:
+            errors.append(
+                "%s: ts %r goes backward on track pid=%r tid=%r (last %r)"
+                % (where, ts, track[0], track[1], previous))
+        else:
+            last_ts[track] = ts
+    return errors
+
+
+def write_chrome_trace(machine, path):
+    """Export, validate and write; returns the number of trace events."""
+    data = chrome_trace(machine)
+    errors = validate_chrome_trace(data)
+    if errors:
+        raise ValueError(
+            "exported trace fails its own schema: " + "; ".join(errors[:5]))
+    with open(path, "w") as handle:
+        json.dump(data, handle, sort_keys=True, separators=(",", ":"))
+        handle.write("\n")
+    return len(data["traceEvents"])

@@ -313,6 +313,7 @@ class _Worker:
 
         cores = machine.cores
         per_core = machine.stats.per_core
+        metrics = machine.metrics
         handlers = EVENT_HANDLERS
         heappop = heapq.heappop
         cycle = machine.cycle
@@ -381,6 +382,8 @@ class _Worker:
                         delta = target - cycle
                         for index in owned:
                             per_core[index].skipped_cycles += delta
+                            if metrics is not None:
+                                metrics.idle(index, cycle, delta)
                         cycle = target
                         continue
                 # handlers and core.tick read machine.cycle as "now"
@@ -398,6 +401,8 @@ class _Worker:
                             machine._num_active -= 1
                     else:
                         per_core[index].skipped_cycles += 1
+                        if metrics is not None:
+                            metrics.idle(index, cycle, 1)
                 if machine._error is not None:
                     machine.cycle = cycle
                     cycle += 1
@@ -422,6 +427,8 @@ class _Worker:
                     delta = target - cycle
                     for index in owned:
                         per_core[index].skipped_cycles += delta
+                        if metrics is not None:
+                            metrics.idle(index, cycle, delta)
                     cycle = target
             machine.cycle = cycle
 
@@ -446,11 +453,12 @@ class ShardedLBP:
     """
 
     def __init__(self, params=None, trace=None, shards=None, master=None,
-                 sanitize=False):
+                 sanitize=False, metrics=None):
         if master is not None:
             self.master = master
         else:
-            self.master = LBP(params, trace=trace, sanitize=sanitize)
+            self.master = LBP(params, trace=trace, sanitize=sanitize,
+                              metrics=metrics)
         if shards is None:
             raise ValueError("ShardedLBP requires an explicit shard count")
         requested = int(shards)
@@ -504,10 +512,19 @@ class ShardedLBP:
     def sanitizer(self):
         return self.master.sanitizer
 
+    @property
+    def metrics(self):
+        return self.master.metrics
+
     def race_report(self, sync=None):
         """Analyze the gathered shard-local observations (one merged,
         sharding-independent report — see repro.sanitize)."""
         return self.master.race_report(sync=sync)
+
+    def metrics_report(self):
+        """The gathered shard-local telemetry, merged — byte-identical
+        to a single-process run's report (see repro.observe)."""
+        return self.master.metrics_report()
 
     def load(self, program, start=True):
         self.master.load(program, start=start)

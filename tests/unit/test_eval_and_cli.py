@@ -165,6 +165,66 @@ def test_cli_cache_subcommands(tmp_path, capsys, monkeypatch):
     assert "0 entries" in capsys.readouterr().out
 
 
+def test_cli_run_metrics_and_stats_json(tmp_path, capsys):
+    import json
+
+    stats_path = tmp_path / "stats.json"
+    metrics_path = tmp_path / "metrics.json"
+    assert cli_main(["run", _write(tmp_path, _PROG), "--cores", "1",
+                     "--metrics", "--metrics-interval", "64",
+                     "--stats-json", str(stats_path),
+                     "--metrics-out", str(metrics_path)]) == 0
+    out = capsys.readouterr().out
+    assert "stall attribution" in out and "identity holds" in out
+
+    stats = json.loads(stats_path.read_text())
+    assert stats["halt_reason"] == "exit"
+    by_hart = sum(hart["retired"] for core in stats["state"]["harts"]
+                  for hart in core)
+    assert sum(stats["retired_by_core"]) == by_hart
+
+    report = json.loads(metrics_path.read_text())
+    assert report["accounted"] is True
+    assert report["retired"] + report["stall_cycles"] == report["stage_cycles"]
+
+
+def test_cli_run_metrics_rejected_on_fast_sim(tmp_path, capsys):
+    assert cli_main(["run", _write(tmp_path, _PROG), "--sim", "fast",
+                     "--metrics"]) == 2
+    assert "metrics" in capsys.readouterr().err
+
+
+def test_cli_metrics_cannot_be_enabled_mid_run(tmp_path, capsys):
+    path = _write(tmp_path, _PROG)
+    snap = tmp_path / "pause.lbpsnap"
+    assert cli_main(["run", path, "--cores", "1", "--stop-at-cycle", "20",
+                     "--snapshot-out", str(snap)]) == 0
+    capsys.readouterr()
+    assert cli_main(["run", "--resume", str(snap), "--metrics"]) == 2
+    assert "mid-run" in capsys.readouterr().err
+
+
+def test_cli_observe_writes_all_formats(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "trace.json"
+    csv = tmp_path / "windows.csv"
+    report = tmp_path / "report.json"
+    assert cli_main(["observe", _write(tmp_path, _PROG), "--cores", "1",
+                     "--metrics-interval", "64",
+                     "--perfetto", str(trace), "--csv", str(csv),
+                     "--json", str(report)]) == 0
+    out = capsys.readouterr().out
+    assert "stall attribution" in out and "perfetto" in out
+
+    from repro.observe import validate_chrome_trace
+
+    data = json.loads(trace.read_text())
+    assert validate_chrome_trace(data) == []
+    assert csv.read_text().startswith("window,start,end")
+    assert json.loads(report.read_text())["accounted"] is True
+
+
 def test_cli_experiments_cache_hits_on_second_run(tmp_path, capsys):
     argv = ["experiments", "--h", "16", "--cores", "4", "--scale", "8",
             "--sim", "fast", "--jobs", "1",
