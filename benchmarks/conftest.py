@@ -87,17 +87,41 @@ def _extract_stalls(result):
     return merged
 
 
+def _extract_backend(result):
+    """The execution backend recorded in a benchmark's result rows.
+
+    Cycle-simulator rows carry a ``backend`` key (see
+    :func:`repro.eval.figures.run_matmul_experiment`); the first one
+    found wins (a benchmark never mixes backends).  None when absent.
+    """
+    if isinstance(result, dict):
+        backend = result.get("backend")
+        if isinstance(backend, str):
+            return backend
+        result = result.values()
+    if isinstance(result, (list, tuple)) or not isinstance(result, str) \
+            and hasattr(result, "__iter__"):
+        for item in result:
+            backend = _extract_backend(item)
+            if backend is not None:
+                return backend
+    return None
+
+
 def _record_perf(experiment, wall, result, jobs=None, extra=None):
     cycles, retired = _extract_counts(result)
     stalls = _extract_stalls(result)
+    backend = _extract_backend(result)
     # a wall time at (or below) the clock's resolution is noise — a warm
     # cache hit, say — and dividing by it fabricates absurd throughput;
     # record the raw time at microsecond precision and null the rates
     resolution = time.get_clock_info("perf_counter").resolution
-    measurable = wall > max(resolution, 1e-6)
+    floor = max(resolution, 1e-6)
+    measurable = wall > floor
     entry = {
         "experiment": experiment,
-        "wall_s": round(wall, 6),
+        # never record 0.0: an immeasurably fast run clamps to the floor
+        "wall_s": round(wall, 6) if measurable else floor,
         "cycles": cycles,
         "retired": retired,
         "cycles_per_s": round(cycles / wall) if measurable else None,
@@ -106,6 +130,8 @@ def _record_perf(experiment, wall, result, jobs=None, extra=None):
     }
     if stalls:
         entry["stalls"] = stalls
+    if backend is not None:
+        entry["backend"] = backend
     if jobs is not None:
         entry["jobs"] = jobs
     if extra:

@@ -68,6 +68,10 @@ def cmd_run(args):
         print("error: --shards requires the cycle simulator (--sim cycle)",
               file=sys.stderr)
         return 2
+    if args.backend is not None and args.sim == "fast":
+        print("error: --backend requires the cycle simulator (--sim cycle)",
+              file=sys.stderr)
+        return 2
     want_metrics = bool(args.metrics or args.metrics_out)
     if want_metrics and args.sim == "fast":
         print("error: --metrics requires the cycle simulator (--sim cycle): "
@@ -77,7 +81,7 @@ def cmd_run(args):
     if args.resume:
         from repro.snapshot import load_snapshot
 
-        machine = load_snapshot(args.resume)
+        machine = load_snapshot(args.resume, backend=args.backend)
         program = machine.program
         if want_metrics and machine.metrics is None:
             # the charge history starts at cycle 0 — an unmetered
@@ -111,7 +115,8 @@ def cmd_run(args):
         else:
             metrics = args.metrics_interval if want_metrics else None
             machine = LBP(params, trace=Trace(trace_enabled, kinds=trace_kinds),
-                          shards=args.shards, metrics=metrics)
+                          shards=args.shards, metrics=metrics,
+                          backend=args.backend)
         machine.load(program)
 
     run_kwargs = {"max_cycles": args.max_cycles}
@@ -377,6 +382,10 @@ def main(argv=None):
                        help="space-shard the cycle simulator across N worker "
                             "processes (bit-identical results; 1 = in-process)")
     p_run.add_argument("--sim", choices=("cycle", "fast"), default="cycle")
+    p_run.add_argument("--backend", choices=("soa", "interp"), default=None,
+                       help="cycle-simulator execution backend (default: "
+                            "soa when numpy is available, else interp); "
+                            "results are bit-identical either way")
     p_run.add_argument("--max-cycles", type=int, default=200_000_000)
     p_run.add_argument("--trace", action="store_true")
     p_run.add_argument("--trace-limit", type=int, default=100)

@@ -61,14 +61,19 @@ class Core:
         "_rob_size",
     )
 
+    #: hart factory — the SoA backend (machine/soa.py) overrides this so
+    #: SoACore builds SoAHart instances through the shared __init__
+    hart_cls = Hart
+
     def __init__(self, index, machine):
         self.index = index
         self.machine = machine
         params = machine.params
         self.mem = CoreMemory(index, params)
+        hart_cls = self.hart_cls
         self.harts = [
-            Hart(self, h, params.num_result_buffers,
-                 machine.stats.harts[index][h])
+            hart_cls(self, h, params.num_result_buffers,
+                     machine.stats.harts[index][h])
             for h in range(params.harts_per_core)
         ]
         #: gating flag: False while no hart of this core can do pipeline

@@ -16,6 +16,35 @@ from repro.isa.spec import InstrClass
 
 _C = InstrClass
 
+# ---- decode kinds (next-pc determination; see Core.tick / SoACore.tick) -----
+#: fall through to pc + 4
+DEC_STRAIGHT = 0
+#: direct jump: pc + imm known at decode (jal, p_jal)
+DEC_JAL = 1
+#: next pc resolved at issue — the hart stays suspended (branches, jalr,
+#: p_jalr)
+DEC_SUSPEND = 2
+#: no next pc: halts (ebreak) or traps (ecall) at commit
+DEC_SYSTEM = 3
+#: fall through, but block further fetch until the p_syncm issues
+DEC_SYNCM = 4
+#: fall through + post the fork-token request to the next core (p_fn)
+DEC_PFN = 5
+
+# ---- issue kinds (readiness checks beyond nwaits == 0) ----------------------
+#: no structural constraint beyond source values and the writeback buffer
+ISS_PLAIN = 0
+#: loads wait for all older stores of their hart to have issued
+ISS_LOAD = 1
+#: p_lwre waits for its numbered result buffer to be filled
+ISS_LWRE = 2
+#: p_fc waits for a free hart on this core
+ISS_FC = 3
+#: p_fn waits for a fork token granted by the next core
+ISS_FN = 4
+#: p_syncm issues only at the head of the ROB with no outstanding memory
+ISS_SYNCM = 5
+
 
 class LoweredInstr:
     """One program location, pre-chewed for the pipeline stages.
@@ -33,11 +62,22 @@ class LoweredInstr:
         width: access width in bytes for loads/stores, else 0.
         re_slot: result-buffer slot for p_swre/p_lwre, else 0.
         is_ebreak / is_ecall: commit-side traps, pre-tested.
+        nreads / r1 / r2: ``reads`` unrolled for the SoA backend's
+            scalarised operand slots (r2 only valid when nreads == 2).
+        dec_kind / issue_kind: the ``DEC_*`` / ``ISS_*`` dispatch keys
+            above, so the decode and issue stages switch on a
+            precomputed int instead of re-classifying ``cls``.
+        store_like: True for store/p_swcv — the older-store fence that
+            loads wait on at issue.
+        trap: commit-side trap code (0 none, 1 ebreak, 2 ecall) — folds
+            ``is_ebreak``/``is_ecall`` into one hot-path compare.
     """
 
     __slots__ = (
         "ins", "mnemonic", "cls", "rd", "imm", "reads", "writes",
         "op", "latency", "width", "re_slot", "is_ebreak", "is_ecall",
+        "nreads", "r1", "r2", "dec_kind", "issue_kind", "store_like",
+        "trap",
     )
 
     def __init__(self, ins, params):
@@ -72,6 +112,36 @@ class LoweredInstr:
             self.re_slot = 0
         self.is_ebreak = mnemonic == "ebreak"
         self.is_ecall = mnemonic == "ecall"
+        reads = self.reads
+        self.nreads = len(reads)
+        self.r1 = reads[0] if reads else 0
+        self.r2 = reads[1] if len(reads) == 2 else 0
+        if cls == _C.BRANCH or cls == _C.JALR or cls == _C.P_JALR:
+            self.dec_kind = DEC_SUSPEND
+        elif cls == _C.JAL or cls == _C.P_JAL:
+            self.dec_kind = DEC_JAL
+        elif cls == _C.SYSTEM:
+            self.dec_kind = DEC_SYSTEM
+        elif cls == _C.P_SYNCM:
+            self.dec_kind = DEC_SYNCM
+        elif cls == _C.P_FN:
+            self.dec_kind = DEC_PFN
+        else:
+            self.dec_kind = DEC_STRAIGHT
+        if cls == _C.LOAD or cls == _C.P_LWCV:
+            self.issue_kind = ISS_LOAD
+        elif cls == _C.P_LWRE:
+            self.issue_kind = ISS_LWRE
+        elif cls == _C.P_FC:
+            self.issue_kind = ISS_FC
+        elif cls == _C.P_FN:
+            self.issue_kind = ISS_FN
+        elif cls == _C.P_SYNCM:
+            self.issue_kind = ISS_SYNCM
+        else:
+            self.issue_kind = ISS_PLAIN
+        self.store_like = cls == _C.STORE or cls == _C.P_SWCV
+        self.trap = 1 if self.is_ebreak else (2 if self.is_ecall else 0)
 
     def __repr__(self):
         return "LoweredInstr(%r)" % (self.ins,)

@@ -28,6 +28,7 @@ from repro import memmap
 from repro.isa.semantics import load_value
 from repro.machine.core import Core
 from repro.machine.lowered import LoweredInstr, lower_program
+from repro.machine.soa import flush_alu as soa_flush_alu
 from repro.machine.memory import Bank
 from repro.machine.params import Params
 from repro.machine.router import (
@@ -380,25 +381,63 @@ EVENT_HANDLERS = {
 }
 
 
+#: process-wide default execution backend, used when ``LBP(backend=None)``:
+#: "soa" (machine/soa.py, the fast struct-of-arrays core — bit-exact with
+#: the interpreter) or "interp" (machine/core.py).  Falls back to
+#: "interp" with a warning when numpy is unavailable.
+DEFAULT_BACKEND = "soa"
+
+_warned_numpy_fallback = False
+
+
+def resolve_backend(backend):
+    """Normalise a ``backend=`` argument to "soa" or "interp"."""
+    global _warned_numpy_fallback
+    if backend is None:
+        backend = DEFAULT_BACKEND
+    if backend not in ("soa", "interp"):
+        raise ValueError(
+            "unknown backend %r (expected 'soa' or 'interp')" % (backend,))
+    if backend == "soa":
+        from repro.machine.soa import HAVE_NUMPY
+
+        if not HAVE_NUMPY:
+            if not _warned_numpy_fallback:
+                import warnings
+
+                warnings.warn(
+                    "numpy is not installed; falling back to the interp "
+                    "backend (slower, same results)", RuntimeWarning,
+                    stacklevel=2)
+                _warned_numpy_fallback = True
+            backend = "interp"
+    return backend
+
+
 class LBP:
     """One simulated LBP processor instance.
 
     ``LBP(params, shards=N)`` with N > 1 constructs the space-sharded
     engine (:class:`repro.parsim.ShardedLBP`) instead — same program
     interface, bit-identical results, N worker processes.
+
+    ``backend`` selects the execution core: "soa" (default; see
+    repro.machine.soa) or "interp" — both produce bit-identical traces,
+    stats and snapshots, so the choice is pure performance.
     """
 
     def __new__(cls, params=None, trace=None, shards=None, sanitize=False,
-                metrics=None):
+                metrics=None, backend=None):
         if cls is LBP and shards is not None and shards != 1:
             from repro.parsim import ShardedLBP
 
             return ShardedLBP(params, trace=trace, shards=shards,
-                              sanitize=sanitize, metrics=metrics)
+                              sanitize=sanitize, metrics=metrics,
+                              backend=backend)
         return super().__new__(cls)
 
     def __init__(self, params=None, trace=None, shards=None, sanitize=False,
-                 metrics=None):
+                 metrics=None, backend=None):
         self.params = params or Params()
         self.stats = MachineStats(self.params.num_cores, self.params.harts_per_core)
         # explicit None test: an empty Trace is falsy (len() == 0)
@@ -418,7 +457,15 @@ class LBP:
         #: number of cores whose ``active`` gating flag is set; kept in
         #: lockstep with the flags by Core.activate and the run loop
         self._num_active = 0
-        self.cores = [Core(i, self) for i in range(self.params.num_cores)]
+        #: the SoA backend's deferred ALU issues for the current cycle
+        #: (always empty for interp cores; see repro.machine.soa.flush_alu)
+        self._alu_pending = []
+        self.backend = resolve_backend(backend)
+        if self.backend == "soa":
+            from repro.machine.soa import SoACore as core_cls
+        else:
+            core_cls = Core
+        self.cores = [core_cls(i, self) for i in range(self.params.num_cores)]
         if metrics:
             from repro.observe import Metrics
 
@@ -1016,6 +1063,11 @@ class LBP:
                     per_core[core.index].skipped_cycles += 1
                     if metrics is not None:
                         metrics.idle(core.index, cycle, 1)
+            if self._alu_pending:
+                # end-of-cycle opcode-grouped pass over the SoA cores'
+                # deferred ALU issues (results only become observable at
+                # next cycle's writeback, so batching is unobservable)
+                soa_flush_alu(self)
             if self._error is not None:
                 raise MachineError(self._error)
             cycle += 1

@@ -38,7 +38,10 @@ Message batch format (one frame per peer per barrier)::
               outbox_count, retired, seq_sum)
     events = [(cycle, origin, oseq, dst, kind, args), ...]
 
-frames are ``marshal`` payloads behind a 4-byte big-endian length.
+frames are ``marshal`` payloads behind a 4-byte big-endian length.  The
+epoch's events ship as the raw heap tuples in one payload per (peer,
+epoch) — ``marshal`` round-trips nested tuples exactly, so the receiver
+pushes them onto its heap without any per-message re-encoding.
 
 Snapshots: at a snapshot trigger (and at every run-ending decision) the
 workers ship ``core_state_dict()`` slices of their owned domains to the
@@ -60,6 +63,7 @@ from repro.machine.processor import (
     LBP,
     MachineError,
 )
+from repro.machine.soa import flush_alu as _flush_alu
 
 #: conservative lookahead, in cycles: the minimum latency of any
 #: cross-core interaction (see the module docstring for the derivation).
@@ -172,9 +176,11 @@ class _Worker:
         # the no-traffic frame is identical for every peer: marshal once
         empty = None
         for peer in self.peers:
+            # one serialized payload per (peer, epoch): the raw event
+            # tuples go straight into the frame (marshal preserves
+            # nested tuples), so per-event conversion cost is zero
             batch = [
-                list(event[:5]) + [list(event[5])]
-                for event in outbox
+                event for event in outbox
                 if self.owner_of[event[3]] == peer
             ]
             if batch:
@@ -184,13 +190,13 @@ class _Worker:
                     blob = marshal.dumps((status, []))
                     empty = _FRAME.pack(len(blob)) + blob
                 _write_all(self.peer_send[peer], empty)
+        events = machine._events
+        heappush = heapq.heappush
         for peer in self.peers:
             peer_status, batch = _recv(self.peer_recv[peer])
             statuses[peer] = peer_status
-            for cyc, origin, oseq, dst, kind, args in batch:
-                heapq.heappush(
-                    machine._events,
-                    (cyc, origin, oseq, dst, kind, tuple(args)))
+            for event in batch:
+                heappush(events, event)
         return self._merge(statuses)
 
     def _status(self, cycle, outbox):
@@ -403,6 +409,9 @@ class _Worker:
                         per_core[index].skipped_cycles += 1
                         if metrics is not None:
                             metrics.idle(index, cycle, 1)
+                if machine._alu_pending:
+                    # SoA backend: end-of-cycle opcode-grouped ALU pass
+                    _flush_alu(machine)
                 if machine._error is not None:
                     machine.cycle = cycle
                     cycle += 1
@@ -453,12 +462,12 @@ class ShardedLBP:
     """
 
     def __init__(self, params=None, trace=None, shards=None, master=None,
-                 sanitize=False, metrics=None):
+                 sanitize=False, metrics=None, backend=None):
         if master is not None:
             self.master = master
         else:
             self.master = LBP(params, trace=trace, sanitize=sanitize,
-                              metrics=metrics)
+                              metrics=metrics, backend=backend)
         if shards is None:
             raise ValueError("ShardedLBP requires an explicit shard count")
         requested = int(shards)
@@ -515,6 +524,10 @@ class ShardedLBP:
     @property
     def metrics(self):
         return self.master.metrics
+
+    @property
+    def backend(self):
+        return self.master.backend
 
     def race_report(self, sync=None):
         """Analyze the gathered shard-local observations (one merged,

@@ -149,8 +149,15 @@ def _decode(blob):
     return _unjsonable(json.loads(zlib.decompress(body).decode("utf-8")))
 
 
-def restore(blob):
-    """Rebuild the machine serialized by :func:`snapshot` (fresh instance)."""
+def restore(blob, backend=None):
+    """Rebuild the machine serialized by :func:`snapshot` (fresh instance).
+
+    *backend* selects the execution backend of the rebuilt machine
+    (``"soa"``/``"interp"``; None → the default).  Snapshots are
+    backend-neutral: the byte format is the interpreter layout and the
+    SoA backend rebuilds its packed state from it, so a snapshot taken
+    under either backend resumes bit-exactly under either.
+    """
     payload = _decode(blob)
     if payload.get("sim_version") != SIM_VERSION:
         raise SnapshotError(
@@ -160,7 +167,7 @@ def restore(blob):
         )
     params = Params.from_state_dict(payload["params"])
     program = program_from_state(payload["program"])
-    machine = LBP(params)
+    machine = LBP(params, backend=backend)
     machine.load(program, start=False)
     machine.load_state_dict(payload["machine"])
     return machine
@@ -193,7 +200,7 @@ def save_snapshot(machine, path):
     return len(blob)
 
 
-def load_snapshot(path):
+def load_snapshot(path, backend=None):
     """:func:`restore` from *path*."""
     with open(path, "rb") as handle:
-        return restore(handle.read())
+        return restore(handle.read(), backend=backend)

@@ -1,20 +1,23 @@
-"""Differential fuzzing: three executions of one random program agree.
+"""Differential fuzzing: four executions of one random program agree.
 
 Hypothesis generates small race-free Deterministic-OpenMP programs
 (random team size, work mix, read-only cross-bank traffic, optional
-serial reduction).  Each program is compiled once and executed three
+serial reduction).  Each program is compiled once and executed four
 ways:
 
 * the functional fast simulator (``FastLBP``),
-* the cycle-accurate machine with the race detector attached
-  (``LBP(sanitize=True)``), and
-* the space-sharded cycle engine (``shards=2``).
+* the cycle-accurate interpreter backend with the race detector
+  attached (``LBP(sanitize=True, backend="interp")``),
+* the SoA execution backend (``LBP(backend="soa")``), and
+* the space-sharded cycle engine running SoA cores
+  (``shards=2, backend="soa"``).
 
-All three must agree on every global memory word and on the boot hart's
-final register file; the two cycle-accurate runs must agree on cycle
+All four must agree on every global memory word and on the boot hart's
+final register file; the three cycle-accurate runs must agree on cycle
 count and on the *full event trace* digest — which simultaneously fuzzes
-the claim that sanitize=True is observation-only, since the sanitized
-run's trace must match the unsanitized sharded one bit for bit.  The
+the claim that sanitize=True is observation-only and that the SoA
+backend's restructured tick is unobservable, since the sanitized
+interpreter run's trace must match both SoA traces bit for bit.  The
 detector must also come out clean on every generated program (they are
 race-free by construction), fuzzing the happens-before machinery for
 false positives across random fork/join shapes.
@@ -124,7 +127,7 @@ def _globals(machine, program, members):
 
 @given(programs())
 @settings(max_examples=15, deadline=None)
-def test_three_engines_agree(case):
+def test_four_engines_agree(case):
     source, members, work, mix, init, reduce_after = case
     program = compile_to_program(source, "diff.c")
 
@@ -132,16 +135,21 @@ def test_three_engines_agree(case):
     fast.run(max_cycles=5_000_000)
 
     cycle = LBP(Params(num_cores=CORES, trace_enabled=True),
-                sanitize=True).load(program)
+                sanitize=True, backend="interp").load(program)
     cycle_stats = cycle.run(max_cycles=5_000_000)
 
+    soa = LBP(Params(num_cores=CORES, trace_enabled=True),
+              backend="soa").load(program)
+    soa_stats = soa.run(max_cycles=5_000_000)
+
     sharded = LBP(Params(num_cores=CORES, trace_enabled=True),
-                  shards=2).load(program)
+                  shards=2, backend="soa").load(program)
     sharded_stats = sharded.run(max_cycles=5_000_000)
 
-    # 1. all three engines computed the same memory image
+    # 1. all four engines computed the same memory image
     mem = _globals(cycle, program, members)
     assert _globals(fast, program, members) == mem
+    assert _globals(soa, program, members) == mem
     assert _globals(sharded, program, members) == mem
 
     # 2. ... and the right one
@@ -155,13 +163,17 @@ def test_three_engines_agree(case):
 
     # 3. the boot hart retired to the same architectural register state
     assert cycle.cores[0].harts[0].regs == fast.harts[0].regs
+    assert soa.cores[0].harts[0].regs == fast.harts[0].regs
 
-    # 4. the two cycle-accurate runs are bit-exact — same cycle count,
-    #    same full event trace — even though one of them carried the
-    #    race detector (observation must not perturb the machine)
-    assert cycle_stats.cycles == sharded_stats.cycles
-    assert cycle_stats.retired == sharded_stats.retired
-    assert _digest(cycle.trace.events) == _digest(sharded.trace.events)
+    # 4. the three cycle-accurate runs are bit-exact — same cycle count,
+    #    same full event trace — even though one carried the race
+    #    detector (observation must not perturb the machine) and two ran
+    #    the restructured SoA tick (unobservable by construction)
+    digest = _digest(cycle.trace.events)
+    assert cycle_stats.cycles == soa_stats.cycles == sharded_stats.cycles
+    assert cycle_stats.retired == soa_stats.retired == sharded_stats.retired
+    assert _digest(soa.trace.events) == digest
+    assert _digest(sharded.trace.events) == digest
 
     # 5. generated programs are race-free by construction; the detector
     #    must agree (no false positives on random fork/join shapes)
