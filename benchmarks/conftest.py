@@ -168,6 +168,23 @@ def once(benchmark, request):
 
 
 @pytest.fixture
+def perf_record(request):
+    """Append one custom measurement row to BENCH_perf.json.
+
+    For benchmarks whose primary product is not a simulation result —
+    the serve load test records latency percentiles, for example —
+    ``perf_record(wall_s, result, extra={...})`` writes the trajectory
+    row directly; *extra* keys merge into the entry.
+    """
+
+    def record(wall_s, result=None, jobs=None, extra=None):
+        _record_perf(request.node.name, wall_s, result, jobs=jobs,
+                     extra=extra)
+
+    return record
+
+
+@pytest.fixture
 def fanout(request):
     """Run independent simulation tasks through the parallel runner.
 

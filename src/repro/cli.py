@@ -21,7 +21,11 @@ Usage (installed as ``python -m repro``):
     python -m repro run prog.c --stop-at-cycle 5000 --snapshot-out pause.lbpsnap
     python -m repro run --resume pause.lbpsnap   # continue, bit-exact
     python -m repro experiments --h 16 --cores 4 # figure sweep, parallel+cached
-    python -m repro cache stats                  # the run cache's footprint
+    python -m repro cache stats --json           # the run cache's footprint
+    python -m repro cache gc --max-bytes 100000000  # LRU-evict to a budget
+    python -m repro serve --port 8321 --workers 4   # simulation-job daemon
+    python -m repro submit prog.c --port 8321 --cores 4  # run via the daemon
+    python -m repro submit prog.c --unix /tmp/lbp.sock --stream
 """
 
 import argparse
@@ -339,24 +343,148 @@ def cmd_experiments(args):
     return 0
 
 
+def cmd_serve(args):
+    """Run the asyncio simulation-job daemon until SIGINT/SIGTERM."""
+    import asyncio
+    import json
+    import signal
+
+    from repro.serve import ServeConfig, SimServer
+
+    quotas = json.loads(args.quotas) if args.quotas else None
+    default_quota = None
+    if args.default_quota:
+        rate_text, _, burst_text = args.default_quota.partition(":")
+        default_quota = (float(rate_text), float(burst_text or rate_text))
+    config = ServeConfig(
+        host=args.host, port=args.port, unix_path=args.unix,
+        workers=args.workers, cache_root=args.cache_dir,
+        max_cache_bytes=args.max_cache_bytes,
+        max_cache_age_s=args.max_cache_age,
+        job_timeout=args.job_timeout, retries=args.retries,
+        progress_every=args.progress_every,
+        quotas=quotas, default_quota=default_quota)
+
+    async def main():
+        server = SimServer(config)
+        await server.start()
+        if config.unix_path:
+            print("serving  : unix %s" % config.unix_path)
+        if server.bound_port is not None:
+            print("serving  : http://%s:%d" % (config.host, server.bound_port))
+        print("workers  : %d  cache %s" % (config.workers, server.cache.root))
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # non-unix event loop
+                signal.signal(signum, lambda *_: stop.set())
+        await stop.wait()
+        print("draining : %d queued, %d running"
+              % (server.table.depth(), server.table.running()))
+        await server.drain()
+        stats = server.stats()
+        print("drained  : %d completed, %d hits, %d coalesced, %d evictions"
+              % (stats["jobs"]["completed"], stats["jobs"]["hits"],
+                 stats["jobs"]["coalesced"], stats["cache"]["evictions"]))
+
+    asyncio.run(main())
+    return 0
+
+
+def cmd_submit(args):
+    """Submit one program to a running daemon; print its result."""
+    import json
+
+    from repro.serve import ServeClient, ServeError
+
+    client = ServeClient(host=args.host, port=args.port, unix_path=args.unix)
+    job = {
+        "source": _read_source(args.source),
+        "filename": os.path.basename(args.source),
+        "params": {"num_cores": args.cores},
+    }
+    if args.inputs:
+        job["inputs"] = json.loads(args.inputs)
+    if args.max_cycles is not None:
+        job["max_cycles"] = args.max_cycles
+    try:
+        if args.stream:
+            record = client.submit_one(job, tenant=args.tenant,
+                                       priority=args.priority, wait=False)
+            if record["status"] == "hit":
+                final = record
+            else:
+                final = record
+                for event in client.stream(record["id"]):
+                    if event["kind"] == "progress":
+                        print("progress : cycle %-10d ipc %-6s top stall %s"
+                              % (event["cycle"], event["ipc"],
+                                 event.get("top_stall", "-")), file=sys.stderr)
+                    else:
+                        final = event
+                        final["status"] = event["kind"]
+        else:
+            final = client.submit_one(job, tenant=args.tenant,
+                                      priority=args.priority, wait=True)
+    except ServeError as exc:
+        print("error    : %s" % exc, file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(final, sort_keys=True))
+        return 0 if final.get("value") else 1
+    print("status   : %s" % final.get("status"))
+    print("key      : %s" % final.get("key"))
+    value = final.get("value")
+    if not value:
+        print("error    : %s" % final.get("error"), file=sys.stderr)
+        return 1
+    print("cycles   : %s" % value["cycles"])
+    print("retired  : %s" % value["retired"])
+    print("IPC      : %s" % value["summary"]["ipc"])
+    print("digest   : %s" % value["trace_digest"])
+    return 0
+
+
 def cmd_cache(args):
     from repro.snapshot import RunCache
 
     cache = RunCache(args.cache_dir)
+    import json
+    import time
+
     if args.action == "ls":
         rows = cache.entries()
-        for key, entry_bytes, snap_bytes in rows:
-            print("%s  %8d B entry  %10d B snapshot"
-                  % (key, entry_bytes, snap_bytes))
+        now = time.time()
+        for key, entry_bytes, snap_bytes, mtime in rows:
+            print("%s  %8d B entry  %10d B snapshot  %8ds idle"
+                  % (key, entry_bytes, snap_bytes, max(0, now - mtime)))
         print("%d entr%s in %s" % (len(rows), "y" if len(rows) == 1 else "ies",
                                    cache.root))
     elif args.action == "clear":
         removed = cache.clear()
         print("removed %d entr%s from %s"
               % (removed, "y" if removed == 1 else "ies", cache.root))
+    elif args.action == "gc":
+        summary = cache.gc(max_bytes=args.max_bytes, max_age_s=args.max_age)
+        if args.json:
+            print(json.dumps(summary, sort_keys=True))
+        else:
+            print("evicted %d entr%s (%d stale tmp file(s) swept); "
+                  "%d entr%s / %d B remain in %s"
+                  % (summary["evicted"],
+                     "y" if summary["evicted"] == 1 else "ies",
+                     summary["swept_tmp"], summary["remaining"],
+                     "y" if summary["remaining"] == 1 else "ies",
+                     summary["remaining_bytes"], cache.root))
     else:  # stats
-        for field, value in cache.stats().items():
-            print("%-15s: %s" % (field, value))
+        stats = cache.stats()
+        if args.json:
+            print(json.dumps(stats, sort_keys=True))
+        else:
+            for field, value in stats.items():
+                print("%-15s: %s" % (field, value))
     return 0
 
 
@@ -491,12 +619,74 @@ def main(argv=None):
                             "~/.cache/lbp-repro)")
     p_exp.set_defaults(func=cmd_experiments)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the async simulation-job daemon over the run cache")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="TCP port (0 = ephemeral; omit for unix-only)")
+    p_serve.add_argument("--unix", metavar="PATH", default=None,
+                         help="unix socket path (can combine with --port)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="max concurrent forked simulations")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="run-cache root (default: $LBP_CACHE_DIR or "
+                              "~/.cache/lbp-repro)")
+    p_serve.add_argument("--max-cache-bytes", type=int, default=None,
+                         help="LRU-evict the cache to this byte budget")
+    p_serve.add_argument("--max-cache-age", type=float, default=None,
+                         metavar="S", help="evict entries unused for S seconds")
+    p_serve.add_argument("--job-timeout", type=float, default=None,
+                         metavar="S", help="kill + retry a simulation after "
+                                           "S seconds (default: none)")
+    p_serve.add_argument("--retries", type=int, default=1,
+                         help="extra attempts after a timeout")
+    p_serve.add_argument("--progress-every", type=int, default=None,
+                         metavar="CYCLES",
+                         help="progress-stream emission interval")
+    p_serve.add_argument("--quotas", metavar="JSON",
+                         help='per-tenant token buckets, e.g. '
+                              '\'{"t1": {"rate": 2, "burst": 10}}\' '
+                              "(one token = one scheduled execution; "
+                              "hits and coalesced joins are free)")
+    p_serve.add_argument("--default-quota", metavar="RATE[:BURST]",
+                         help="bucket for tenants not listed in --quotas")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="run a program through a `repro serve` daemon")
+    p_submit.add_argument("source", help=".c (DetC) or .s (assembly) file")
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=None)
+    p_submit.add_argument("--unix", metavar="PATH", default=None)
+    p_submit.add_argument("--cores", type=int, default=4)
+    p_submit.add_argument("--inputs", metavar="JSON",
+                          help="workload-inputs cache-key component")
+    p_submit.add_argument("--max-cycles", type=int, default=None)
+    p_submit.add_argument("--tenant", default=None)
+    p_submit.add_argument("--priority", default=None,
+                          choices=("interactive", "batch", "bulk"))
+    p_submit.add_argument("--stream", action="store_true",
+                          help="stream progress events while the job runs")
+    p_submit.add_argument("--json", action="store_true",
+                          help="print the final record as JSON")
+    p_submit.set_defaults(func=cmd_submit)
+
     p_cache = sub.add_parser(
-        "cache", help="inspect or clear the content-addressed run cache")
-    p_cache.add_argument("action", choices=("ls", "clear", "stats"))
+        "cache",
+        help="inspect, garbage-collect or clear the content-addressed "
+             "run cache")
+    p_cache.add_argument("action", choices=("ls", "clear", "stats", "gc"))
     p_cache.add_argument("--cache-dir", default=None,
                          help="run-cache root (default: $LBP_CACHE_DIR or "
                               "~/.cache/lbp-repro)")
+    p_cache.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                         help="gc: evict least-recently-used entries until "
+                              "entries + snapshots fit N bytes")
+    p_cache.add_argument("--max-age", type=float, default=None, metavar="S",
+                         help="gc: evict entries not used for S seconds")
+    p_cache.add_argument("--json", action="store_true",
+                         help="stats/gc: machine-readable JSON output")
     p_cache.set_defaults(func=cmd_cache)
 
     args = parser.parse_args(argv)

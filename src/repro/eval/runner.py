@@ -26,12 +26,26 @@ the memoization exact); only the misses are dispatched to workers, and
 their results are stored for the next sweep.  Cached results pass
 through a canonical JSON round-trip on both the hit and the miss path,
 so a warm re-run merges byte-identically to the cold run that filled it.
+
+Timeouts: ``run_experiments(..., timeout=S)`` switches dispatch from
+``Pool.map`` to one :class:`ForkedTask` child per task — same fork
+semantics, but the parent owns each child individually, so a hung
+simulation is killed at its deadline and retried (``retries=N`` bounded
+attempts) instead of wedging the whole sweep.  ``ExperimentResults.meta``
+records how many ``timeouts`` fired and how many ``retries`` were spent;
+a task that exhausts its attempts raises :class:`TaskTimeoutError`.
+:class:`ForkedTask` is also the execution primitive behind the
+``repro serve`` worker pool (:mod:`repro.serve.pool`), which adds
+progress streaming through the same parent-side pipe.
 """
 
 import multiprocessing
+import multiprocessing.connection
 import os
+import time
 
-__all__ = ["ExperimentResults", "default_jobs", "run_experiments"]
+__all__ = ["ExperimentResults", "ForkedTask", "TaskFailedError",
+           "TaskTimeoutError", "default_jobs", "run_experiments"]
 
 
 def default_jobs():
@@ -74,6 +88,190 @@ class ExperimentResults(dict):
         return (self.__class__, (list(self.items()), self.meta))
 
 
+class TaskTimeoutError(Exception):
+    """A task exceeded its per-attempt deadline on every allowed attempt."""
+
+    def __init__(self, key, timeout, attempts):
+        super().__init__(
+            "task %r timed out after %gs on each of %d attempt(s)"
+            % (key, timeout, attempts))
+        self.key = key
+        self.timeout = timeout
+        self.attempts = attempts
+
+
+class TaskFailedError(Exception):
+    """A forked task raised (or its child died) on every allowed attempt."""
+
+    def __init__(self, key, detail, attempts):
+        super().__init__("task %r failed on each of %d attempt(s): %s"
+                         % (key, attempts, detail))
+        self.key = key
+        self.detail = detail
+        self.attempts = attempts
+
+
+def _forked_child_main(conn, fn, args, kwargs, progress_arg):
+    """Child half of :class:`ForkedTask`: run *fn*, ship one final message.
+
+    The wire protocol is tuples: zero or more ``("progress", payload)``
+    (only when the callable asked for a progress channel) followed by
+    exactly one ``("ok", value)`` or ``("err", detail)``.  ``os._exit``
+    skips the parent's inherited atexit/teardown machinery — the child
+    must not flush the parent's state.
+    """
+    import signal
+
+    # sever the parent's signal plumbing: an asyncio parent registers a
+    # wakeup fd and handlers that this fork inherits — a signal landing
+    # here (e.g. our own terminate()) would otherwise write into the
+    # PARENT's self-pipe and fire the parent's handlers spuriously
+    signal.set_wakeup_fd(-1)
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, signal.SIG_DFL)
+    status = 0
+    try:
+        if progress_arg is not None:
+            kwargs = dict(kwargs)
+            kwargs[progress_arg] = lambda payload: conn.send(
+                ("progress", payload))
+        conn.send(("ok", fn(*args, **kwargs)))
+    except BaseException as exc:  # report, then die: nothing to recover
+        status = 1
+        try:
+            conn.send(("err", "%s: %s" % (type(exc).__name__, exc)))
+        except BaseException:
+            pass
+    finally:
+        conn.close()
+        os._exit(status)
+
+
+class ForkedTask:
+    """One callable running in a forked child, owned from the parent.
+
+    Unlike a ``Pool`` worker, the child is individually addressable: the
+    parent can :meth:`poll`/:meth:`recv` its message stream, enforce a
+    deadline, and :meth:`terminate` a hung run without disturbing any
+    sibling.  ``progress_arg`` names a keyword argument to inject into
+    the callable: a function the child calls to stream progress payloads
+    back through the pipe (fork means no pickling of the callable is
+    ever needed).
+
+    Raises ValueError where the platform offers no ``fork`` start
+    method; callers degrade to in-process execution.
+    """
+
+    def __init__(self, fn, args=(), kwargs=None, progress_arg=None,
+                 context=None):
+        context = context or multiprocessing.get_context("fork")
+        self._conn, child_conn = context.Pipe(duplex=False)
+        self.process = context.Process(
+            target=_forked_child_main,
+            args=(child_conn, fn, args, dict(kwargs or {}), progress_arg),
+            daemon=True)
+        self.started_at = time.monotonic()
+        self.process.start()
+        child_conn.close()  # parent keeps only the read end
+
+    def fileno(self):
+        return self._conn.fileno()
+
+    @property
+    def connection(self):
+        return self._conn
+
+    def poll(self, timeout=0):
+        """True when a message (or EOF) is ready within *timeout* seconds."""
+        try:
+            return self._conn.poll(timeout)
+        except (OSError, EOFError):
+            return True  # the recv will surface the broken pipe
+
+    def recv(self):
+        """Next ``(kind, payload)`` message; ``("err", ...)`` on a dead
+        child that never reported (killed, crashed interpreter)."""
+        try:
+            return self._conn.recv()
+        except (OSError, EOFError):
+            return ("err", "worker died without reporting a result "
+                           "(exitcode %s)" % (self.process.exitcode,))
+
+    def terminate(self):
+        """Kill the child (SIGTERM, then SIGKILL) and reap it."""
+        process = self.process
+        if process.is_alive():
+            process.terminate()
+            process.join(1.0)
+            if process.is_alive():
+                process.kill()
+                process.join()
+        self.close()
+
+    def close(self):
+        self._conn.close()
+        self.process.join()
+
+
+def _run_all_deadlined(tasks, jobs, timeout, retries, meta):
+    """Fork-per-task dispatch with per-attempt deadlines, input-ordered.
+
+    Up to *jobs* children run at once; each gets *timeout* seconds per
+    attempt and ``retries`` extra attempts after a timeout or crash.
+    Results merge by task order, so the output is byte-identical to the
+    Pool path and the sequential path.
+    """
+    results = {}
+    queue = list(tasks)  # (key, fn, args, kwargs), retried tasks re-enter
+    attempts = {task[0]: 0 for task in tasks}
+    active = {}  # ForkedTask -> task tuple
+    meta.setdefault("timeouts", 0)
+    meta.setdefault("retries", 0)
+
+    def reap(forked, task, detail, timed_out):
+        forked.terminate()
+        if timed_out:
+            meta["timeouts"] += 1
+        if attempts[task[0]] <= retries:
+            meta["retries"] += 1
+            queue.append(task)
+            return
+        for straggler in active:
+            if straggler is not forked:
+                straggler.terminate()
+        if timed_out:
+            raise TaskTimeoutError(task[0], timeout, attempts[task[0]])
+        raise TaskFailedError(task[0], detail, attempts[task[0]])
+
+    while queue or active:
+        while queue and len(active) < jobs:
+            task = queue.pop(0)
+            attempts[task[0]] += 1
+            active[ForkedTask(task[1], task[2], task[3])] = task
+        deadline = min(f.started_at for f in active) + timeout
+        wait = max(0.0, deadline - time.monotonic())
+        ready = multiprocessing.connection.wait(
+            [f.connection for f in active], timeout=wait)
+        ready_set = set(ready)
+        now = time.monotonic()
+        for forked in list(active):
+            task = active[forked]
+            if forked.connection in ready_set:
+                kind, payload = forked.recv()
+                if kind == "progress":  # informational; task still running
+                    continue
+                del active[forked]
+                if kind == "ok":
+                    forked.close()
+                    results[task[0]] = payload
+                else:  # "err" — crash counts against the retry budget too
+                    reap(forked, task, payload, timed_out=False)
+            elif now - forked.started_at >= timeout:
+                del active[forked]
+                reap(forked, task, None, timed_out=True)
+    return {key: results[key] for key, _fn, _args, _kwargs in tasks}
+
+
 def _normalize(tasks):
     normalized = []
     seen = set()
@@ -93,16 +291,21 @@ def _call(task):
     return key, fn(*args, **kwargs)
 
 
-def _run_all(tasks, jobs):
+def _run_all(tasks, jobs, timeout=None, retries=0, meta=None):
     """{key: result} for *tasks*, parallel when possible, input-ordered."""
     if not tasks:
         return {}
     jobs = min(jobs, len(tasks))
-    if jobs <= 1:
-        return {key: fn(*args, **kwargs) for key, fn, args, kwargs in tasks}
     try:
         context = multiprocessing.get_context("fork")
     except ValueError:  # platform without fork: degrade, stay identical
+        context = None
+    if timeout is not None and context is not None:
+        # deadline enforcement needs individually owned children, even
+        # at jobs=1 — a hung simulation must not wedge the sweep
+        return _run_all_deadlined(tasks, jobs, timeout, retries,
+                                  meta if meta is not None else {})
+    if jobs <= 1 or context is None:
         return {key: fn(*args, **kwargs) for key, fn, args, kwargs in tasks}
     with context.Pool(processes=jobs) as pool:
         # Pool.map returns in input order — the deterministic merge is
@@ -111,7 +314,7 @@ def _run_all(tasks, jobs):
     return dict(pairs)
 
 
-def run_experiments(tasks, jobs=None, cache=None):
+def run_experiments(tasks, jobs=None, cache=None, timeout=None, retries=1):
     """Run every task; return ``{key: result}`` in task order.
 
     ``jobs=None`` uses :func:`default_jobs`; ``jobs=1`` (or a single
@@ -125,6 +328,13 @@ def run_experiments(tasks, jobs=None, cache=None):
     from the store without simulating.  Results that do not survive a
     JSON round-trip are returned but not cached.
 
+    ``timeout`` (seconds, per attempt) bounds each task: a child that
+    blows its deadline is killed and retried up to ``retries`` more
+    times, then :class:`TaskTimeoutError` propagates (crashes consume
+    the same budget and end in :class:`TaskFailedError`).  ``meta``
+    records the ``timeouts`` and ``retries`` actually spent.  Timeouts
+    need ``fork``; platforms without it run sequentially, undeadlined.
+
     The returned mapping is an :class:`ExperimentResults`: a plain dict
     of rows plus a ``meta`` attribute recording the resolved ``jobs``
     count for reproducibility (the resolved value, not the clamped
@@ -136,7 +346,8 @@ def run_experiments(tasks, jobs=None, cache=None):
     meta = {"jobs": jobs}
 
     if cache is None:
-        return ExperimentResults(_run_all(normalized, jobs), meta=meta)
+        return ExperimentResults(
+            _run_all(normalized, jobs, timeout, retries, meta), meta=meta)
 
     if isinstance(cache, str):
         from repro.snapshot.cache import RunCache
@@ -154,7 +365,7 @@ def run_experiments(tasks, jobs=None, cache=None):
         else:
             pending.append(task)
 
-    fresh = _run_all(pending, jobs)
+    fresh = _run_all(pending, jobs, timeout, retries, meta)
     for key, result in fresh.items():
         canonical = cache.put(task_keys[key], result)
         if canonical is not None:

@@ -1,0 +1,139 @@
+"""A small blocking client for the simulation-job service.
+
+Stdlib-socket HTTP/1.1, no dependencies, same dialect over TCP and unix
+sockets.  This is what ``repro submit`` and the integration tests speak;
+the load generator (:mod:`repro.serve.loadgen`) has its own asyncio
+client for thousand-way concurrency.
+"""
+
+import json
+import socket
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(Exception):
+    """A non-2xx response (or a rejected job record)."""
+
+    def __init__(self, status, payload):
+        super().__init__("HTTP %s: %s" % (status, payload))
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """One connection-per-request blocking client.
+
+    Address: either ``unix_path=...`` or ``host=.../port=...``.
+    """
+
+    def __init__(self, host="127.0.0.1", port=None, unix_path=None,
+                 timeout=120.0):
+        if port is None and unix_path is None:
+            raise ValueError("need a port or a unix socket path")
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self.timeout = timeout
+
+    # ---- plumbing -----------------------------------------------------------
+
+    def _connect(self):
+        if self.unix_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.unix_path)
+        else:
+            sock = socket.create_connection((self.host, self.port),
+                                            timeout=self.timeout)
+        return sock
+
+    def _send(self, sock, method, path, payload):
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload, sort_keys=True).encode()
+        head = ("%s %s HTTP/1.1\r\nHost: repro-serve\r\n"
+                "Content-Type: application/json\r\n"
+                "Content-Length: %d\r\nConnection: close\r\n\r\n"
+                % (method, path, len(body)))
+        sock.sendall(head.encode("latin-1") + body)
+
+    @staticmethod
+    def _read_head(reader):
+        status_line = reader.readline()
+        if not status_line:
+            raise ServeError(0, "server closed the connection")
+        status = int(status_line.split()[1])
+        headers = {}
+        while True:
+            line = reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers
+
+    def request(self, method, path, payload=None):
+        """One request; returns ``(status, parsed-JSON body)``."""
+        with self._connect() as sock:
+            self._send(sock, method, path, payload)
+            reader = sock.makefile("rb")
+            status, headers = self._read_head(reader)
+            length = headers.get("content-length")
+            raw = (reader.read(int(length)) if length is not None
+                   else reader.read())
+            return status, json.loads(raw) if raw else None
+
+    def _checked(self, method, path, payload=None):
+        status, body = self.request(method, path, payload)
+        if status >= 400:
+            raise ServeError(status, body)
+        return body
+
+    # ---- the service API ----------------------------------------------------
+
+    def healthz(self):
+        return self._checked("GET", "/healthz")
+
+    def stats(self):
+        return self._checked("GET", "/stats")
+
+    def submit(self, jobs, tenant=None, priority=None, wait=True):
+        """Submit a batch; returns the per-job record list.
+
+        Raises :class:`ServeError` when the whole batch was rejected
+        (e.g. quota).  Individual records may still be ``rejected`` in a
+        mixed batch — callers check ``record["status"]``.
+        """
+        body = {"jobs": list(jobs), "wait": wait}
+        if tenant is not None:
+            body["tenant"] = tenant
+        if priority is not None:
+            body["priority"] = priority
+        return self._checked("POST", "/v1/jobs", body)["jobs"]
+
+    def submit_one(self, job, **kwargs):
+        """Submit one job and return its record (raises on rejection)."""
+        record = self.submit([job], **kwargs)[0]
+        if record.get("status") == "rejected":
+            raise ServeError(record.get("code", 400), record)
+        return record
+
+    def job(self, job_id):
+        return self._checked("GET", "/v1/jobs/%s" % job_id)
+
+    def cancel(self, job_id):
+        return self._checked("POST", "/v1/jobs/%s/cancel" % job_id)
+
+    def stream(self, job_id):
+        """Yield the job's NDJSON events (progress..., then terminal)."""
+        with self._connect() as sock:
+            self._send(sock, "GET", "/v1/jobs/%s/stream" % job_id, None)
+            reader = sock.makefile("rb")
+            status, _headers = self._read_head(reader)
+            if status >= 400:
+                raise ServeError(status, json.loads(reader.read() or b"{}"))
+            for line in reader:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)

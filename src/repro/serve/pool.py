@@ -1,0 +1,159 @@
+"""Bounded fork-based worker pool with timeout, retry and cancellation.
+
+The serving daemon is a single asyncio loop; simulations are CPU-bound
+Python.  The pool keeps the two apart: each admitted execution forks a
+child (:class:`repro.eval.runner.ForkedTask` — the same primitive the
+experiment runner's deadline path uses) and a small driver thread relays
+its pipe back into the loop.  Concurrency is capped by a semaphore, so
+at most ``workers`` simulations run at once regardless of queue depth.
+
+Per attempt the driver enforces a wall-clock deadline (kill + bounded
+retry — a timeout may be a loaded host, so one more try is cheap) and a
+cancellation flag (kill, no retry — the client changed its mind).
+Simulation *errors* are not retried: the machine is deterministic, so a
+deadlock or trap would only reproduce.
+
+Where the platform offers no ``fork`` start method the pool degrades to
+in-thread execution: results are identical, but a runaway simulation
+can then only be abandoned, not killed (documented limitation, same
+spirit as the runner's sequential degrade).
+"""
+
+import asyncio
+import time
+
+from repro.eval.runner import ForkedTask
+
+__all__ = ["PoolCancelled", "PoolTaskError", "PoolTimeout", "WorkerPool"]
+
+#: seconds between cancellation/deadline checks while waiting on a child
+_POLL_SLICE = 0.05
+
+
+class PoolTimeout(Exception):
+    """Every allowed attempt blew its deadline."""
+
+
+class PoolCancelled(Exception):
+    """The caller's cancel flag was set while the job waited or ran."""
+
+
+class PoolTaskError(Exception):
+    """The child reported an error (deterministic — never retried)."""
+
+
+class WorkerPool:
+    """At most *workers* concurrent forked simulations.
+
+    ``timeout`` is the per-attempt deadline in seconds (None = no
+    deadline); after a timeout the job is retried up to ``retries`` more
+    times.  ``timeouts`` and ``retries_spent`` accumulate across jobs
+    for the service's ``/stats``.
+    """
+
+    def __init__(self, workers=2, timeout=None, retries=1):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.timeout = timeout
+        self.retries = retries
+        self._semaphore = asyncio.Semaphore(workers)
+        self.busy = 0
+        self.timeouts = 0
+        self.retries_spent = 0
+        try:
+            import multiprocessing
+
+            multiprocessing.get_context("fork")
+            self._has_fork = True
+        except ValueError:
+            self._has_fork = False
+
+    def _attempt(self, fn, args, kwargs, deadline_s, cancel_event, emit):
+        """One forked attempt, driven to completion from a worker thread."""
+        if not self._has_fork:
+            # degrade: run in this thread; progress flows, deadlines don't
+            if cancel_event is not None and cancel_event.is_set():
+                raise PoolCancelled()
+            if emit is not None:
+                kwargs = dict(kwargs)
+                kwargs["progress"] = emit
+            try:
+                return fn(*args, **kwargs)
+            except PoolCancelled:
+                raise
+            except Exception as exc:
+                raise PoolTaskError("%s: %s" % (type(exc).__name__, exc))
+        task = ForkedTask(fn, args, kwargs,
+                          progress_arg="progress" if emit is not None else None)
+        deadline = (task.started_at + deadline_s
+                    if deadline_s is not None else None)
+        finished = False
+        try:
+            while True:
+                if cancel_event is not None and cancel_event.is_set():
+                    raise PoolCancelled()
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise PoolTimeout()
+                if not task.poll(_POLL_SLICE):
+                    continue
+                kind, payload = task.recv()
+                if kind == "progress":
+                    if emit is not None:
+                        emit(payload)
+                    continue
+                finished = True
+                if kind == "ok":
+                    return payload
+                raise PoolTaskError(payload)
+        finally:
+            if finished:
+                task.close()  # child is exiting on its own: just reap
+            else:
+                task.terminate()
+
+    async def run(self, fn, args=(), kwargs=None, on_progress=None,
+                  on_attempt=None, cancel_event=None, timeout=None,
+                  retries=None):
+        """Run ``fn(*args, **kwargs)`` in a forked child; returns its value.
+
+        *on_progress* (called on the event loop) receives the payloads
+        the child streams through its injected ``progress`` callable;
+        *on_attempt* fires at the start of every (re)try; *cancel_event*
+        (a ``threading.Event``) aborts between poll slices.  Raises
+        :class:`PoolTimeout` / :class:`PoolCancelled` /
+        :class:`PoolTaskError`.
+        """
+        loop = asyncio.get_running_loop()
+        deadline_s = self.timeout if timeout is None else timeout
+        allowed = 1 + (self.retries if retries is None else retries)
+        emit = None
+        if on_progress is not None:
+            def emit(payload):
+                loop.call_soon_threadsafe(on_progress, payload)
+        async with self._semaphore:
+            self.busy += 1
+            try:
+                for attempt in range(1, allowed + 1):
+                    if on_attempt is not None:
+                        on_attempt()
+                    try:
+                        return await asyncio.to_thread(
+                            self._attempt, fn, args, dict(kwargs or {}),
+                            deadline_s, cancel_event, emit)
+                    except PoolTimeout:
+                        self.timeouts += 1
+                        if attempt == allowed:
+                            raise PoolTimeout(
+                                "timed out after %gs on each of %d "
+                                "attempt(s)" % (deadline_s, attempt))
+                        self.retries_spent += 1
+            finally:
+                self.busy -= 1
+
+    def snapshot(self):
+        """Pool counters for the ``/stats`` endpoint."""
+        return {"workers": self.workers, "busy": self.busy,
+                "timeouts": self.timeouts,
+                "retries_spent": self.retries_spent,
+                "fork": self._has_fork}

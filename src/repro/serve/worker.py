@@ -1,0 +1,84 @@
+"""The forked worker's half of the job service: run one simulation.
+
+:func:`execute_job` is the module-level callable the pool forks for each
+cache miss.  It rebuilds the program (usually a memo hit inherited
+through fork from the parent that just keyed the request), runs the
+cycle-accurate machine, and returns the same value shape
+``RunCache.run_program`` stores — so service entries and CLI entries are
+interchangeable cache objects::
+
+    {"summary": {...}, "trace_digest": "...", "cycles": N, "retired": N}
+
+When the caller wires a *progress* channel (see
+:class:`repro.eval.runner.ForkedTask`'s ``progress_arg``), the run is
+metered (zero-perturbation — PR 5's guarantee is that metrics never
+change results) and a compact progress payload is emitted at the same
+safe point periodic snapshots use: cycle count, retired, IPC so far and
+the dominant stall reason.
+"""
+
+from repro.machine import LBP
+from repro.snapshot.snapshot import trace_digest
+
+__all__ = ["execute_job", "job_progress", "job_value"]
+
+#: default cycles between progress emissions
+DEFAULT_PROGRESS_EVERY = 100_000
+
+
+def job_progress(machine):
+    """One compact progress payload from a live, metered machine."""
+    cycle = machine.cycle
+    retired = machine.stats.retired
+    payload = {
+        "kind": "progress",
+        "cycle": cycle,
+        "retired": retired,
+        "ipc": round(retired / cycle, 4) if cycle else 0.0,
+    }
+    if machine.metrics is not None:
+        from repro.observe.export import build_report
+
+        report = build_report(machine)
+        if report["stall_cycles"]:
+            top = max(report["stalls"].items(), key=lambda kv: (kv[1], kv[0]))
+            payload["top_stall"] = top[0]
+            payload["top_stall_cycles"] = top[1]
+    return payload
+
+
+def job_value(machine, stats):
+    """The canonical result value (mirrors ``RunCache.run_program``)."""
+    return {
+        "summary": stats.summary(),
+        "trace_digest": trace_digest(machine.trace.events),
+        "cycles": stats.cycles,
+        "retired": stats.retired,
+    }
+
+
+def execute_job(source, filename, params_kwargs, max_cycles=None,
+                progress_every=None, progress=None):
+    """Run one job to completion; returns the canonical result value.
+
+    *progress* (injected by the pool) receives :func:`job_progress`
+    payloads roughly every *progress_every* cycles; passing it implies a
+    metered run so the payloads carry IPC and the top stall reason.
+    """
+    from repro.serve.jobs import compiled_program
+
+    program = compiled_program(source, filename)
+    from repro.machine import Params
+
+    metered = progress is not None
+    machine = LBP(Params(**params_kwargs),
+                  metrics=True if metered else None).load(program)
+    run_kwargs = {}
+    if max_cycles is not None:
+        run_kwargs["max_cycles"] = max_cycles
+    if metered:
+        every = progress_every or DEFAULT_PROGRESS_EVERY
+        run_kwargs["snapshot_every"] = every
+        run_kwargs["snapshot_callback"] = lambda m: progress(job_progress(m))
+    stats = machine.run(**run_kwargs)
+    return job_value(machine, stats)

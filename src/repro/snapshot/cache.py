@@ -23,18 +23,41 @@ Storage layout under the cache root (``LBP_CACHE_DIR`` overrides)::
 Values must survive a JSON round-trip unchanged; :meth:`RunCache.put`
 refuses (returns None) otherwise, so a hit is byte-identical to the miss
 that produced it.
+
+Writes are atomic and concurrency-safe: every writer stages into a
+uniquely named temp file in the destination directory and publishes it
+with ``os.replace``.  Concurrent ``put`` of the same key is harmless —
+the runs are deterministic, so both writers publish identical bytes and
+either replace wins.  That makes the store safe under the fork-pool
+experiment runner and the ``repro serve`` worker pool.
+
+The store is *managed*, not append-only: ``get`` bumps the entry's
+mtime (recency), and :meth:`RunCache.gc` evicts least-recently-used
+entries down to a byte budget and/or a maximum age, counting evictions
+for the service's ``/stats`` endpoint.
 """
 
 import hashlib
+import itertools
 import json
 import os
 import shutil
+import time
 
 from repro.snapshot.progio import program_bytes
 from repro.snapshot.snapshot import SIM_VERSION, trace_digest
 
 _ENTRY_SUFFIX = ".json"
 _SNAP_SUFFIX = ".snap"
+_TMP_MARK = ".tmp"
+#: a staging file older than this is a crashed writer's leftover; gc may
+#: remove it (no live writer stages for minutes)
+_TMP_STALE_S = 300.0
+#: labeled upper bounds of the entry-age histogram buckets
+_AGE_BUCKETS = (("<1m", 60.0), ("<1h", 3600.0), ("<1d", 86400.0),
+                ("<7d", 7 * 86400.0), (">=7d", float("inf")))
+
+_tmp_counter = itertools.count()
 
 
 def default_cache_root():
@@ -59,6 +82,7 @@ class RunCache:
         self.root = root or default_cache_root()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     # ---- keys ---------------------------------------------------------------
 
@@ -105,15 +129,47 @@ class RunCache:
         return os.path.join(self.root, "objects", key[:2], key + _ENTRY_SUFFIX)
 
     def get(self, key):
-        """The stored entry dict for *key*, or None; counts hit/miss."""
+        """The stored entry dict for *key*, or None; counts hit/miss.
+
+        A hit bumps the entry's mtime — recency of *use*, not of
+        creation — which is the order :meth:`gc` evicts in.
+        """
+        path = self._entry_path(key)
         try:
-            with open(self._entry_path(key)) as handle:
+            with open(path) as handle:
                 entry = json.load(handle)
         except (OSError, ValueError):
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # evicted between the read and the touch: still a hit
         return entry
+
+    @staticmethod
+    def _publish(path, data):
+        """Atomically write *data* (bytes or text) to *path*.
+
+        The staging name is unique per (pid, call), so concurrent
+        writers — even of the same key — never clobber each other's
+        half-written files; ``os.replace`` makes the publish atomic and
+        last-writer-wins (identical bytes either way for a given key:
+        the simulator is deterministic).
+        """
+        tmp = "%s.%d.%d%s" % (path, os.getpid(), next(_tmp_counter), _TMP_MARK)
+        mode = "wb" if isinstance(data, (bytes, bytearray)) else "w"
+        try:
+            with open(tmp, mode) as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def put(self, key, value, extra=None, snapshot_bytes=None):
         """Store *value* under *key*; returns the canonical value.
@@ -133,16 +189,10 @@ class RunCache:
             entry.update(extra)
         path = self._entry_path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        tmp = path + ".tmp"
-        with open(tmp, "w") as handle:
-            json.dump(entry, handle, sort_keys=True)
-            handle.write("\n")
-        os.replace(tmp, path)
+        self._publish(path, json.dumps(entry, sort_keys=True) + "\n")
         if snapshot_bytes is not None:
             snap_path = path[: -len(_ENTRY_SUFFIX)] + _SNAP_SUFFIX
-            with open(snap_path + ".tmp", "wb") as handle:
-                handle.write(snapshot_bytes)
-            os.replace(snap_path + ".tmp", snap_path)
+            self._publish(snap_path, bytes(snapshot_bytes))
         return canonical
 
     def snapshot_path(self, key):
@@ -184,7 +234,8 @@ class RunCache:
     # ---- maintenance / introspection ----------------------------------------
 
     def entries(self):
-        """All stored entries as (key, entry_bytes, snapshot_bytes) rows."""
+        """All stored entries as (key, entry_bytes, snapshot_bytes, mtime)
+        rows, key-sorted.  mtime is the last *use* (:meth:`get` bumps it)."""
         rows = []
         objects = os.path.join(self.root, "objects")
         if not os.path.isdir(objects):
@@ -197,21 +248,111 @@ class RunCache:
                 if not name.endswith(_ENTRY_SUFFIX):
                     continue
                 key = name[: -len(_ENTRY_SUFFIX)]
-                entry_bytes = os.path.getsize(os.path.join(shard_dir, name))
+                path = os.path.join(shard_dir, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue  # concurrently evicted
                 snap = os.path.join(shard_dir, key + _SNAP_SUFFIX)
                 snap_bytes = os.path.getsize(snap) if os.path.exists(snap) else 0
-                rows.append((key, entry_bytes, snap_bytes))
+                rows.append((key, stat.st_size, snap_bytes, stat.st_mtime))
         return rows
 
-    def stats(self):
+    def stats(self, now=None):
+        """Footprint + traffic counters + an entry age histogram.
+
+        ``disk_bytes`` is the full on-disk cost (entries + snapshot
+        sidecars); the ``age_histogram`` buckets entries by seconds since
+        last use — the input the LRU :meth:`gc` policy works from.
+        """
         rows = self.entries()
+        now = time.time() if now is None else now
+        histogram = {label: 0 for label, _ in _AGE_BUCKETS}
+        for row in rows:
+            age = max(0.0, now - row[3])
+            for label, bound in _AGE_BUCKETS:
+                if age < bound:
+                    histogram[label] += 1
+                    break
+        entry_bytes = sum(r[1] for r in rows)
+        snapshot_bytes = sum(r[2] for r in rows)
         return {
             "root": self.root,
             "entries": len(rows),
-            "entry_bytes": sum(r[1] for r in rows),
-            "snapshot_bytes": sum(r[2] for r in rows),
+            "entry_bytes": entry_bytes,
+            "snapshot_bytes": snapshot_bytes,
+            "disk_bytes": entry_bytes + snapshot_bytes,
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
+            "age_histogram": histogram,
+        }
+
+    def _evict(self, key):
+        """Remove one entry (and its snapshot sidecar) from disk."""
+        path = self._entry_path(key)
+        removed = 0
+        for victim in (path, path[: -len(_ENTRY_SUFFIX)] + _SNAP_SUFFIX):
+            try:
+                os.unlink(victim)
+                removed += 1
+            except OSError:
+                pass
+        return removed > 0
+
+    def gc(self, max_bytes=None, max_age_s=None, now=None):
+        """Evict entries: stale first, then least-recently-used.
+
+        *max_age_s* drops entries not used for that many seconds;
+        *max_bytes* then evicts in LRU order (oldest mtime first — a hit
+        refreshes an entry's mtime) until entries + snapshots fit the
+        budget.  Crashed writers' stale ``.tmp`` staging files are always
+        swept.  Returns a summary dict; evictions accumulate on
+        ``self.evictions`` (surfaced by ``repro serve``'s ``/stats``).
+        """
+        now = time.time() if now is None else now
+        swept_tmp = 0
+        objects = os.path.join(self.root, "objects")
+        if os.path.isdir(objects):
+            for shard in os.listdir(objects):
+                shard_dir = os.path.join(objects, shard)
+                if not os.path.isdir(shard_dir):
+                    continue
+                for name in os.listdir(shard_dir):
+                    if not name.endswith(_TMP_MARK):
+                        continue
+                    path = os.path.join(shard_dir, name)
+                    try:
+                        if now - os.stat(path).st_mtime >= _TMP_STALE_S:
+                            os.unlink(path)
+                            swept_tmp += 1
+                    except OSError:
+                        pass
+        rows = sorted(self.entries(), key=lambda r: (r[3], r[0]))  # LRU first
+        evicted = 0
+        if max_age_s is not None:
+            fresh = []
+            for row in rows:
+                if now - row[3] >= max_age_s:
+                    evicted += self._evict(row[0])
+                else:
+                    fresh.append(row)
+            rows = fresh
+        if max_bytes is not None:
+            total = sum(r[1] + r[2] for r in rows)
+            index = 0
+            while total > max_bytes and index < len(rows):
+                row = rows[index]
+                index += 1
+                evicted += self._evict(row[0])
+                total -= row[1] + row[2]
+            rows = rows[index:]
+        self.evictions += evicted
+        return {
+            "evicted": evicted,
+            "swept_tmp": swept_tmp,
+            "remaining": len(rows),
+            "remaining_bytes": sum(r[1] + r[2] for r in rows),
         }
 
     def clear(self):

@@ -1,0 +1,330 @@
+"""Unit tests for the serving layer's pure parts.
+
+Covers the pieces that don't need a running daemon: token-bucket quota
+accounting (injected clock, no sleeping), job specs and their content
+keys (identical to ``RunCache.run_program`` keying — serve and CLI share
+entries), the single-flight job table, priority ordering, and the
+bounded worker pool's timeout/cancel/error behavior.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.machine import Params
+from repro.serve.jobs import (
+    DEFAULT_PRIORITY,
+    PRIORITY_CLASSES,
+    JobSpec,
+    JobTable,
+    compiled_program,
+)
+from repro.serve.loadgen import percentile, summarize
+from repro.serve.pool import (
+    PoolCancelled,
+    PoolTaskError,
+    PoolTimeout,
+    WorkerPool,
+)
+from repro.serve.quota import QuotaExceeded, QuotaManager, TokenBucket
+from repro.snapshot.cache import RunCache
+
+ASM = """
+main:
+    li   t1, 10
+loop:
+    addi t1, t1, -1
+    bnez t1, loop
+    ebreak
+"""
+
+
+# ---- quota ------------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_token_bucket_spend_and_refill():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=4, clock=clock)
+    assert bucket.take(4) == 0.0       # full burst available up front
+    retry = bucket.take(1)
+    assert retry == pytest.approx(0.5)  # 1 token at 2/s is half a second out
+    clock.now += 0.5
+    assert bucket.take(1) == 0.0        # continuously refilled
+    clock.now += 100.0
+    assert bucket.peek() == pytest.approx(4.0)  # capped at burst
+
+
+def test_token_bucket_hard_allowance_and_impossible_requests():
+    bucket = TokenBucket(rate=0, burst=2, clock=FakeClock())
+    assert bucket.take() == 0.0 and bucket.take() == 0.0
+    assert bucket.take() == float("inf")      # rate 0: never refills
+    refilling = TokenBucket(rate=1, burst=2, clock=FakeClock())
+    assert refilling.take(3) == float("inf")  # larger than burst: never
+
+
+def test_token_bucket_rejects_bad_config():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1, burst=0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=-1, burst=1)
+
+
+def test_quota_manager_charges_only_listed_or_defaulted_tenants():
+    clock = FakeClock()
+    quotas = QuotaManager({"alice": (0, 2), "bob": {"rate": 1, "burst": 1}},
+                          clock=clock)
+    quotas.charge("alice")
+    quotas.charge("alice")
+    with pytest.raises(QuotaExceeded) as excinfo:
+        quotas.charge("alice")
+    assert excinfo.value.tenant == "alice"
+    assert excinfo.value.retry_after_s == float("inf")
+    for _ in range(10):
+        quotas.charge("mallory")  # not listed, no default: unmetered
+    quotas.charge("bob")
+    with pytest.raises(QuotaExceeded) as excinfo:
+        quotas.charge("bob")
+    assert excinfo.value.retry_after_s == pytest.approx(1.0)
+    assert quotas.snapshot() == {"alice": 0.0, "bob": 0.0}
+
+
+def test_quota_manager_default_allowance():
+    quotas = QuotaManager(default=(0, 1), clock=FakeClock())
+    quotas.charge("anyone")
+    with pytest.raises(QuotaExceeded):
+        quotas.charge("anyone")
+    quotas.charge("someone-else")  # distinct tenant, distinct bucket
+
+
+# ---- job specs and keying ---------------------------------------------------
+
+
+def test_jobspec_wire_validation():
+    spec = JobSpec.from_wire({"source": ASM, "filename": "job.s",
+                              "params": {"num_cores": 2}})
+    assert spec.machine_params().num_cores == 2
+    with pytest.raises(ValueError):
+        JobSpec.from_wire({"source": ASM, "bogus": 1})
+    with pytest.raises(ValueError):
+        JobSpec.from_wire({"source": ""})
+    with pytest.raises(ValueError):
+        JobSpec.from_wire("not an object")
+    with pytest.raises(ValueError):
+        JobSpec(ASM, filename="../escape.s")
+
+
+def test_jobspec_key_matches_run_cache_keying(tmp_path):
+    """A serve job and a CLI ``run_program`` of the same work share one
+    cache entry — that is the contract that makes the service a cache
+    front-end rather than a second cache."""
+    cache = RunCache(str(tmp_path))
+    spec = JobSpec(ASM, filename="job.s", params={"num_cores": 2},
+                   inputs={"n": 64})
+    expected = cache.key_for(program=compiled_program(ASM, "job.s"),
+                             params=Params(num_cores=2), inputs={"n": 64})
+    assert spec.cache_key(cache) == expected
+
+
+def test_jobspec_max_cycles_not_in_key(tmp_path):
+    cache = RunCache(str(tmp_path))
+    bounded = JobSpec(ASM, filename="job.s", max_cycles=1000)
+    unbounded = JobSpec(ASM, filename="job.s")
+    assert bounded.cache_key(cache) == unbounded.cache_key(cache)
+
+
+def test_jobspec_key_sensitivity(tmp_path):
+    cache = RunCache(str(tmp_path))
+    base = JobSpec(ASM, filename="job.s", params={"num_cores": 2})
+    keys = {
+        base.cache_key(cache),
+        JobSpec(ASM.replace("li   t1, 10", "li   t1, 11"), filename="job.s",
+                params={"num_cores": 2}).cache_key(cache),
+        JobSpec(ASM, filename="job.s",
+                params={"num_cores": 4}).cache_key(cache),
+        JobSpec(ASM, filename="job.s", params={"num_cores": 2},
+                inputs="other").cache_key(cache),
+    }
+    assert len(keys) == 4  # program, params and inputs all key
+    # a source change that lowers to identical program bytes does NOT
+    # change the key: identity is the program, not its spelling
+    commented = JobSpec(ASM + "# comment\n", filename="job.s",
+                        params={"num_cores": 2})
+    assert commented.cache_key(cache) == base.cache_key(cache)
+
+
+def test_compiled_program_memoized():
+    first = compiled_program(ASM, "job.s")
+    assert compiled_program(ASM, "job.s") is first
+
+
+# ---- single-flight table ----------------------------------------------------
+
+
+def _spec():
+    return JobSpec(ASM, filename="job.s")
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def test_single_flight_admission():
+    async def scenario():
+        table = JobTable()
+        job, created = table.admit(_spec(), "k1", "t", DEFAULT_PRIORITY)
+        assert created and job.coalesced == 0
+        again, created = table.admit(_spec(), "k1", "t", DEFAULT_PRIORITY)
+        assert not created and again is job and job.coalesced == 1
+        other, created = table.admit(_spec(), "k2", "t", DEFAULT_PRIORITY)
+        assert created and other is not job
+        assert table.counters["submitted"] == 3
+        assert table.counters["coalesced"] == 1
+        # after finish, the key is re-admittable as a fresh job
+        job.resolve({"v": 1})
+        table.finish(job)
+        fresh, created = table.admit(_spec(), "k1", "t", DEFAULT_PRIORITY)
+        assert created and fresh is not job
+        # history still resolves the finished job by id
+        assert table.get(job.id) is job
+
+    _run(scenario())
+
+
+def test_history_never_evicts_live_jobs():
+    async def scenario():
+        table = JobTable(history=2)
+        live = [table.admit(_spec(), "k%d" % n, "t", DEFAULT_PRIORITY)[0]
+                for n in range(4)]
+        # over capacity, but none are done: all must remain addressable
+        assert all(table.get(job.id) is job for job in live)
+        for job in live:
+            job.resolve({})
+            table.finish(job)
+        table.admit(_spec(), "k-new", "t", DEFAULT_PRIORITY)
+        assert table.get(live[0].id) is None  # done jobs age out now
+
+    _run(scenario())
+
+
+def test_priority_sort_key_ordering():
+    async def scenario():
+        table = JobTable()
+        batch = table.admit(_spec(), "k1", "t", "batch")[0]
+        interactive = table.admit(_spec(), "k2", "t", "interactive")[0]
+        bulk = table.admit(_spec(), "k3", "t", "bulk")[0]
+        batch2 = table.admit(_spec(), "k4", "t", "batch")[0]
+        ordered = sorted([batch, interactive, bulk, batch2],
+                         key=lambda job: job.sort_key)
+        # class first, admission order within a class
+        assert ordered == [interactive, batch, batch2, bulk]
+        assert set(PRIORITY_CLASSES) == {"interactive", "batch", "bulk"}
+
+    _run(scenario())
+
+
+# ---- worker pool ------------------------------------------------------------
+
+
+def _slow(duration, result="late", progress=None):
+    if progress is not None:
+        progress({"stage": "started"})
+    time.sleep(duration)
+    return result
+
+
+def _boom():
+    raise RuntimeError("deterministic failure")
+
+
+def test_pool_runs_and_streams_progress():
+    async def scenario():
+        pool = WorkerPool(workers=1)
+        seen = []
+        value = await pool.run(_slow, args=(0.0, "done"),
+                               on_progress=seen.append)
+        assert value == "done"
+        await asyncio.sleep(0.05)  # progress is relayed via call_soon
+        assert seen == [{"stage": "started"}]
+        assert pool.snapshot()["busy"] == 0
+
+    _run(scenario())
+
+
+def test_pool_timeout_retries_then_raises():
+    async def scenario():
+        pool = WorkerPool(workers=1, timeout=0.3, retries=1)
+        with pytest.raises(PoolTimeout):
+            await pool.run(_slow, args=(30.0,))
+        snap = pool.snapshot()
+        assert snap["timeouts"] == 2      # both attempts hit the deadline
+        assert snap["retries_spent"] == 1
+
+    _run(scenario())
+
+
+def test_pool_task_error_not_retried():
+    async def scenario():
+        pool = WorkerPool(workers=1, retries=3)
+        with pytest.raises(PoolTaskError) as excinfo:
+            await pool.run(_boom)
+        assert "deterministic failure" in str(excinfo.value)
+        # deterministic errors spend no retries: they would only recur
+        assert pool.snapshot()["retries_spent"] == 0
+
+    _run(scenario())
+
+
+def test_pool_cancellation():
+    async def scenario():
+        pool = WorkerPool(workers=1)
+        flag = threading.Event()
+        flag.set()  # pre-cancelled: the attempt must die at the first slice
+        with pytest.raises(PoolCancelled):
+            await pool.run(_slow, args=(30.0,), cancel_event=flag)
+
+    _run(scenario())
+
+
+def test_pool_rejects_bad_worker_count():
+    with pytest.raises(ValueError):
+        WorkerPool(workers=0)
+
+
+# ---- load-summary arithmetic ------------------------------------------------
+
+
+def test_percentile_nearest_rank():
+    samples = [float(n) for n in range(1, 101)]
+    assert percentile(samples, 50) == 50.0
+    assert percentile(samples, 99) == 99.0
+    assert percentile(samples, 100) == 100.0
+    assert percentile([7.0], 50) == 7.0
+    assert percentile([], 50) is None
+
+
+def test_summarize_splits_by_kind_and_counts_errors():
+    samples = [
+        {"kind": "hit", "latency_s": 0.001, "http_status": 200,
+         "status": "hit"},
+        {"kind": "hit", "latency_s": 0.003, "http_status": 200,
+         "status": "hit"},
+        {"kind": "miss", "latency_s": 0.2, "http_status": 200,
+         "status": "done"},
+        {"kind": "miss", "latency_s": 0.1, "http_status": 429,
+         "status": "rejected"},
+    ]
+    summary = summarize(samples, wall_s=2.0)
+    assert summary["hit"]["count"] == 2 and summary["hit"]["errors"] == 0
+    assert summary["miss"]["errors"] == 1
+    assert summary["_total"]["count"] == 4
+    assert summary["_total"]["jobs_per_s"] == 2.0

@@ -273,7 +273,7 @@ def test_entries_stats_clear(tmp_path):
                   snapshot_bytes=b"x" * 10 if n == 0 else None)
     rows = cache.entries()
     assert len(rows) == 3
-    assert sum(1 for _, _, snap in rows if snap == 10) == 1
+    assert sum(1 for _, _, snap, _ in rows if snap == 10) == 1
     stats = cache.stats()
     assert stats["entries"] == 3 and stats["snapshot_bytes"] == 10
     assert cache.clear() == 3
