@@ -108,6 +108,16 @@ def _extract_backend(result):
     return None
 
 
+def _sharded_transport():
+    """The epoch transport a sharded run resolves on this host/env."""
+    try:
+        from repro.parsim import choose_transport
+
+        return choose_transport()
+    except Exception:
+        return None
+
+
 def _record_perf(experiment, wall, result, jobs=None, extra=None):
     cycles, retired = _extract_counts(result)
     stalls = _extract_stalls(result)
@@ -118,16 +128,25 @@ def _record_perf(experiment, wall, result, jobs=None, extra=None):
     resolution = time.get_clock_info("perf_counter").resolution
     floor = max(resolution, 1e-6)
     measurable = wall > floor
+    # a result with no simulation counters at all (an OS-jitter spread,
+    # a bare IPC curve) is a wall-time row, not a throughput sample:
+    # mark it non_perf and null the rates so it cannot drag aggregate
+    # cycles/sec trends toward zero
+    simulated = cycles > 0 or retired > 0
     entry = {
         "experiment": experiment,
         # never record 0.0: an immeasurably fast run clamps to the floor
         "wall_s": round(wall, 6) if measurable else floor,
         "cycles": cycles,
         "retired": retired,
-        "cycles_per_s": round(cycles / wall) if measurable else None,
-        "retired_per_s": round(retired / wall) if measurable else None,
+        "cycles_per_s": round(cycles / wall) if measurable and simulated
+        else None,
+        "retired_per_s": round(retired / wall) if measurable and simulated
+        else None,
         "date": time.strftime("%Y-%m-%d %H:%M:%S"),
     }
+    if not simulated:
+        entry["non_perf"] = True
     if stalls:
         entry["stalls"] = stalls
     if backend is not None:
@@ -136,6 +155,10 @@ def _record_perf(experiment, wall, result, jobs=None, extra=None):
         entry["jobs"] = jobs
     if extra:
         entry.update(extra)
+    if entry.get("shards") not in (None, 0, 1):
+        # sharded rows name their epoch transport so the perf trajectory
+        # stays attributable across the pipe -> shm transition
+        entry.setdefault("transport", _sharded_transport())
     try:
         with open(_PERF_PATH) as handle:
             data = json.load(handle)

@@ -40,6 +40,30 @@ from repro.machine import LBP, Params
 from repro.machine.trace import Trace
 
 
+def _shards(text):
+    """``--shards`` argument: a worker count, or ``auto`` to let the
+    traffic-driven calibration pick one (see repro.parsim.autotune)."""
+    if text == "auto":
+        return "auto"
+    return int(text)
+
+
+def _print_shard_telemetry(machine):
+    """One line each for the auto-tune decision and the transport used."""
+    decision = getattr(machine, "auto_decision", None)
+    if decision:
+        print("shards   : auto -> %d (%s%s)"
+              % (decision["shards"], decision["source"],
+                 ", %d candidates" % len(decision["candidates"])
+                 if decision.get("source") == "calibration" else ""))
+    stats = getattr(machine, "transport_stats", None)
+    if stats:
+        print("transport: %s  epochs %d (ff %d, %d cycles skipped)  "
+              "epoch_wait %.3fs"
+              % (stats["transport"], stats["epochs"], stats["ff_epochs"],
+                 stats["ff_cycles"], stats["epoch_wait_s"]))
+
+
 def _read_source(path):
     with open(path) as handle:
         return handle.read()
@@ -177,6 +201,7 @@ def cmd_run(args):
     print("memory   : %d local, %d remote accesses"
           % (stats.local_accesses, stats.remote_accesses))
     print("teams    : %d forks, %d joins" % (stats.forks, stats.joins))
+    _print_shard_telemetry(machine)
 
     if args.stats_json:
         _write_stats_json(machine, args.stats_json)
@@ -237,6 +262,7 @@ def cmd_observe(args):
     """Run under full telemetry; export Perfetto / CSV / JSON views."""
     from repro.observe import (
         stall_table,
+        transport_table,
         write_chrome_trace,
         write_report_json,
         write_windows_csv,
@@ -260,8 +286,11 @@ def cmd_observe(args):
     print("cycles   :", stats.cycles)
     print("retired  :", stats.retired)
     print("IPC      : %.2f (peak %d)" % (stats.ipc, machine.params.num_cores))
+    _print_shard_telemetry(machine)
     print("--- stall attribution ---")
     for line in stall_table(report):
+        print(line)
+    for line in transport_table(getattr(machine, "transport_stats", None)):
         print(line)
     if args.perfetto:
         count = write_chrome_trace(machine, args.perfetto)
@@ -319,7 +348,20 @@ def cmd_experiments(args):
     # sharding changes only wall time, never results — keep it out of the
     # task arguments (and thus the cache key) unless actually requested
     extra = {}
-    if args.shards is not None and args.shards != 1:
+    auto_decision = None
+    if args.shards == "auto":
+        # calibrate once, in the parent, on the figure's base version —
+        # every task then runs with the same concrete shard count, and
+        # the decision lands on ExperimentResults.meta for the record
+        from repro.eval.figures import calibrate_shards
+
+        shards, auto_decision = calibrate_shards(
+            args.h, args.cores, scale=args.scale)
+        print("shards   : auto -> %d (%s)"
+              % (shards, auto_decision["source"]), file=sys.stderr)
+        if shards != 1:
+            extra["shards"] = shards
+    elif args.shards is not None and args.shards != 1:
         extra["shards"] = args.shards
     if args.metrics:
         # metrics change the row (it grows a stall breakdown), so they
@@ -331,6 +373,14 @@ def cmd_experiments(args):
         for version in MATMUL_VERSIONS
     ]
     rows = run_experiments(tasks, jobs=args.jobs, cache=cache)
+    if auto_decision is not None:
+        rows.meta["auto_shards"] = auto_decision
+    if extra.get("shards"):
+        # which epoch data plane the sharded tasks ran on (meta only —
+        # result rows stay byte-identical across transports)
+        from repro.parsim import choose_transport
+
+        rows.meta["shard_transport"] = choose_transport()
     print(format_rows(
         rows,
         title="matmul figure — h=%d, %d cores, scale=1/%d, %s sim"
@@ -506,9 +556,10 @@ def main(argv=None):
                        help=".c (DetC) or .s (assembly) file "
                             "(optional with --resume)")
     p_run.add_argument("--cores", type=int, default=4)
-    p_run.add_argument("--shards", type=int, default=None, metavar="N",
+    p_run.add_argument("--shards", type=_shards, default=None, metavar="N",
                        help="space-shard the cycle simulator across N worker "
-                            "processes (bit-identical results; 1 = in-process)")
+                            "processes (bit-identical results; 1 = "
+                            "in-process; 'auto' calibrates a count)")
     p_run.add_argument("--sim", choices=("cycle", "fast"), default="cycle")
     p_run.add_argument("--backend", choices=("soa", "interp"), default=None,
                        help="cycle-simulator execution backend (default: "
@@ -558,9 +609,9 @@ def main(argv=None):
         help="run under full telemetry; export Perfetto/CSV/JSON views")
     p_obs.add_argument("source", help=".c (DetC) or .s (assembly) file")
     p_obs.add_argument("--cores", type=int, default=4)
-    p_obs.add_argument("--shards", type=int, default=None, metavar="N",
+    p_obs.add_argument("--shards", type=_shards, default=None, metavar="N",
                        help="space-shard the metered run (reports are "
-                            "byte-identical for any N)")
+                            "byte-identical for any N; 'auto' calibrates)")
     p_obs.add_argument("--max-cycles", type=int, default=200_000_000)
     p_obs.add_argument("--metrics-interval", type=int, default=4096,
                        metavar="K", help="sampling window, in cycles")
@@ -582,9 +633,10 @@ def main(argv=None):
              "(exit 1 when races are found)")
     p_check.add_argument("source", help=".c (DetC) or .s (assembly) file")
     p_check.add_argument("--cores", type=int, default=4)
-    p_check.add_argument("--shards", type=int, default=None, metavar="N",
+    p_check.add_argument("--shards", type=_shards, default=None, metavar="N",
                          help="space-shard the sanitized run (the merged "
-                              "report is byte-identical for any N)")
+                              "report is byte-identical for any N; 'auto' "
+                              "calibrates)")
     p_check.add_argument("--max-cycles", type=int, default=200_000_000)
     p_check.add_argument("--sync", metavar="SYM[:WORDS],...",
                          help="treat these globals as synchronization "
@@ -603,9 +655,10 @@ def main(argv=None):
     p_exp.add_argument("--scale", type=int, default=1,
                        help="work-scale divisor (see LBP_BENCH_SCALE)")
     p_exp.add_argument("--sim", choices=("cycle", "fast"), default="cycle")
-    p_exp.add_argument("--shards", type=int, default=None, metavar="N",
+    p_exp.add_argument("--shards", type=_shards, default=None, metavar="N",
                        help="space-shard each cycle simulation across N "
-                            "worker processes (results are bit-identical)")
+                            "worker processes (results are bit-identical; "
+                            "'auto' calibrates once on the base version)")
     p_exp.add_argument("--jobs", type=int, default=None,
                        help="worker processes (default: LBP_JOBS or the "
                             "CPU affinity count)")

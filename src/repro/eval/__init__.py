@@ -10,6 +10,7 @@ processes with a deterministic task-order merge.
 """
 
 from repro.eval.figures import (
+    calibrate_shards,
     format_rows,
     run_matmul_experiment,
     run_matmul_figure,
@@ -22,6 +23,7 @@ __all__ = [
     "PAPER_FIG19",
     "PAPER_FIG20",
     "PAPER_FIG21",
+    "calibrate_shards",
     "default_jobs",
     "format_rows",
     "run_experiments",

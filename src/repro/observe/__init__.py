@@ -18,6 +18,7 @@ from repro.observe.export import (
     build_report,
     report_json,
     stall_table,
+    transport_table,
     windows_csv,
     write_report_json,
     write_windows_csv,
@@ -42,6 +43,7 @@ __all__ = [
     "build_report",
     "report_json",
     "stall_table",
+    "transport_table",
     "windows_csv",
     "write_report_json",
     "write_windows_csv",

@@ -35,13 +35,32 @@ Message batch format (one frame per peer per barrier)::
     (status, events)
     status = (cycle, halt_key, halt_reason, error_key, error,
               active_cores, heap_min, heap_size, outbox_min,
-              outbox_count, retired, seq_sum)
+              outbox_count, retired, seq_sum, horizon)
     events = [(cycle, origin, oseq, dst, kind, args), ...]
 
-frames are ``marshal`` payloads behind a 4-byte big-endian length.  The
-epoch's events ship as the raw heap tuples in one payload per (peer,
-epoch) — ``marshal`` round-trips nested tuples exactly, so the receiver
-pushes them onto its heap without any per-message re-encoding.
+frames are ``marshal`` payloads; the epoch's events ship as the raw heap
+tuples in one payload per (peer, epoch) — ``marshal`` round-trips nested
+tuples exactly, so the receiver pushes them onto its heap without any
+per-message re-encoding.  The payload travels over a seqlock'd
+shared-memory ring per directed shard pair (:mod:`repro.parsim.rings`)
+when the host supports ``multiprocessing.shared_memory``, or behind a
+4-byte big-endian length on the mesh pipe otherwise; the pipes always
+stay open for control, oversize-frame spill and fallback.
+
+Epoch fast-forward: each status publishes a *horizon* — the earliest
+cycle at which any cross-shard event that shard might emit could land
+(and the earliest a halt/error election it might raise could take
+effect).  An active shard can act one lookahead out, so it publishes
+``cycle + EPOCH_WIDTH``; a fully idle shard acts no earlier than its
+next pending event ``e``, and every consequence of handling ``e`` — a
+send, a woken core's first tick, a halt — lands at ``>= e +
+EPOCH_WIDTH``.  The merged horizon minimum therefore bounds, from below,
+the first cycle at which *new* cross-shard influence can appear, and
+every worker (computing the identical minimum from the identical merged
+statuses) widens its next epoch to exactly that cycle — skipping the
+intervening barriers entirely, with no coordinator and no change to the
+min-key elections.  An event landing exactly on the horizon is merged by
+the barrier *at* the horizon, before any worker simulates that cycle.
 
 Snapshots: at a snapshot trigger (and at every run-ending decision) the
 workers ship ``core_state_dict()`` slices of their owned domains to the
@@ -54,7 +73,9 @@ resumed under any shard count.
 import heapq
 import marshal
 import os
+import select
 import struct
+import time
 
 from repro.machine.processor import (
     EVENT_HANDLERS,
@@ -64,6 +85,7 @@ from repro.machine.processor import (
     MachineError,
 )
 from repro.machine.soa import flush_alu as _flush_alu
+from repro.parsim.rings import RingMesh, shm_available
 
 #: conservative lookahead, in cycles: the minimum latency of any
 #: cross-core interaction (see the module docstring for the derivation).
@@ -77,6 +99,35 @@ assert HALT_LATENCY >= EPOCH_WIDTH
 _PROGRESS_PERIOD = 4096
 
 _FRAME = struct.Struct(">I")
+
+
+def choose_transport(requested=None):
+    """Resolve the epoch data-plane transport: ``"shm"`` or ``"pipe"``.
+
+    *requested* (or the ``LBP_SHARD_TRANSPORT`` environment variable)
+    may be ``"auto"`` (default: shared memory when the host supports it
+    *and* has more than one usable CPU — ring spin-waits on a single CPU
+    only burn the quantum the writer needs), ``"shm"`` (fail loudly when
+    unsupported — used by CI to keep the matrix honest) or ``"pipe"``.
+    """
+    mode = requested or os.environ.get("LBP_SHARD_TRANSPORT") or "auto"
+    if mode not in ("auto", "shm", "pipe"):
+        raise ValueError(
+            "transport must be 'auto', 'shm' or 'pipe', got %r" % (mode,))
+    if mode == "pipe":
+        return "pipe"
+    if shm_available():
+        if mode == "auto":
+            from repro.parsim.autotune import usable_cpus
+
+            if usable_cpus() <= 1:
+                return "pipe"
+        return "shm"
+    if mode == "shm":
+        raise MachineError(
+            "shm transport requested but multiprocessing.shared_memory "
+            "is unavailable on this host")
+    return "pipe"
 
 
 def partition_cores(num_cores, shards):
@@ -109,9 +160,12 @@ def _write_all(fd, data):
         view = view[os.write(fd, view):]
 
 
-def _send(fd, payload):
-    blob = marshal.dumps(payload)
+def _send_blob(fd, blob):
     _write_all(fd, _FRAME.pack(len(blob)) + blob)
+
+
+def _send(fd, payload):
+    _send_blob(fd, marshal.dumps(payload))
 
 
 def _read_exact(fd, size):
@@ -125,9 +179,13 @@ def _read_exact(fd, size):
     return b"".join(chunks)
 
 
-def _recv(fd):
+def _recv_blob(fd):
     (size,) = _FRAME.unpack(_read_exact(fd, _FRAME.size))
-    return marshal.loads(_read_exact(fd, size))
+    return _read_exact(fd, size)
+
+
+def _recv(fd):
+    return marshal.loads(_recv_blob(fd))
 
 
 # ---- worker ------------------------------------------------------------------
@@ -137,7 +195,7 @@ class _Worker:
     """One shard's run loop (executes in the forked child)."""
 
     def __init__(self, machine, shard, bounds, peer_send, peer_recv,
-                 to_parent, from_parent):
+                 to_parent, from_parent, mesh=None):
         self.machine = machine
         self.shard = shard
         self.bounds = bounds
@@ -155,6 +213,40 @@ class _Worker:
         # merged-at-last-barrier global view (progress/livelock probe)
         self.global_mark = None
         self.global_events = 0
+        #: merged min of the horizons every shard published at the last
+        #: barrier: no cross-shard event can land, and no halt/error
+        #: election can take effect, before this cycle — so the next
+        #: epoch may widen to it.  None until the first merge (and when
+        #: nothing anywhere bounds the future: all-idle, empty heaps).
+        self.ff_barrier = None
+        # shared-memory data plane (None -> the pipe transport)
+        if mesh is not None:
+            self.transport = "shm"
+            self.ring_send = {p: mesh.writer(shard, p) for p in self.peers}
+            self.ring_recv = {p: mesh.reader(p, shard) for p in self.peers}
+            # oversize frames spill over the retained mesh pipes
+            self._spill_out = {
+                p: (lambda blob, fd=peer_send[p]: _send_blob(fd, blob))
+                for p in self.peers}
+            self._spill_in = {
+                p: (lambda fd=peer_recv[p]: _recv_blob(fd))
+                for p in self.peers}
+        else:
+            self.transport = "pipe"
+            self.ring_send = None
+            self.ring_recv = None
+        self._ppid = os.getppid()
+        # transport/scheduling telemetry (wall-clock; lives outside the
+        # deterministic machine state — see ShardedLBP.transport_stats)
+        self.epochs = 0
+        self.ff_epochs = 0
+        self.ff_cycles = 0
+        self.epoch_wait_s = 0.0
+
+    def _poll(self):
+        """Ring-wait escape hatch: die if the coordinator is gone."""
+        if os.getppid() != self._ppid:
+            raise EOFError("coordinator died while worker waited on a ring")
 
     # -- pieces ---------------------------------------------------------------
 
@@ -164,6 +256,7 @@ class _Worker:
         Returns ``(global_active, global_next)`` where *global_next* is
         the earliest pending activity (event delivery) anywhere, or None.
         """
+        t0 = time.perf_counter()
         machine = self.machine
         outbox = machine._outbox
         machine._outbox = []
@@ -173,6 +266,7 @@ class _Worker:
         status = self._status(cycle, outbox)
         statuses = [None] * len(self.bounds)
         statuses[self.shard] = status
+        rings = self.ring_send
         # the no-traffic frame is identical for every peer: marshal once
         empty = None
         for peer in self.peers:
@@ -184,20 +278,33 @@ class _Worker:
                 if self.owner_of[event[3]] == peer
             ]
             if batch:
-                _send(self.peer_send[peer], (status, batch))
+                blob = marshal.dumps((status, batch))
             else:
                 if empty is None:
-                    blob = marshal.dumps((status, []))
-                    empty = _FRAME.pack(len(blob)) + blob
-                _write_all(self.peer_send[peer], empty)
+                    empty = marshal.dumps((status, []))
+                blob = empty
+            if rings is not None:
+                rings[peer].push(blob, spill=self._spill_out[peer],
+                                 poll=self._poll)
+            else:
+                _send_blob(self.peer_send[peer], blob)
         events = machine._events
         heappush = heapq.heappush
+        rings = self.ring_recv
         for peer in self.peers:
-            peer_status, batch = _recv(self.peer_recv[peer])
+            if rings is not None:
+                peer_status, batch = marshal.loads(
+                    rings[peer].pop(spill=self._spill_in[peer],
+                                    poll=self._poll))
+            else:
+                peer_status, batch = _recv(self.peer_recv[peer])
             statuses[peer] = peer_status
             for event in batch:
                 heappush(events, event)
-        return self._merge(statuses)
+        merged = self._merge(statuses)
+        self.epochs += 1
+        self.epoch_wait_s += time.perf_counter() - t0
+        return merged
 
     def _status(self, cycle, outbox):
         machine = self.machine
@@ -207,6 +314,23 @@ class _Worker:
         retired = sum(
             h.retired for i in self.owned for h in machine.stats.harts[i])
         seq_sum = sum(machine.cores[i]._seq for i in self.owned)
+        # the horizon this shard promises: the earliest cycle at which
+        # any cross-shard event it might emit could *land* at a peer (and
+        # the earliest a halt/error it might raise could take effect).
+        # An active core can act next cycle, so the promise is only the
+        # conservative lookahead; a fully idle shard acts no earlier
+        # than its next pending event, and anything that handling event
+        # triggers — a send, a woken core's first tick, a halt — lands
+        # EPOCH_WIDTH after it.  None means "I promise nothing ever"
+        # (idle, empty heap, empty outbox): an unbounded horizon.
+        if machine._num_active > 0:
+            horizon = cycle + EPOCH_WIDTH
+        else:
+            local_next = heap_min
+            if outbox_min is not None and (local_next is None
+                                           or outbox_min < local_next):
+                local_next = outbox_min
+            horizon = None if local_next is None else local_next + EPOCH_WIDTH
         return (
             cycle,
             None if machine._halt_key is None else list(machine._halt_key),
@@ -220,6 +344,7 @@ class _Worker:
             len(outbox),
             retired,
             seq_sum,
+            horizon,
         )
 
     def _merge(self, statuses):
@@ -233,10 +358,13 @@ class _Worker:
         pending = 0
         retired = 0
         seq_sum = 0
+        ff = None
         for status in statuses:
             (cycle, halt_key, halt_reason, error_key, error, num_active,
              heap_min, heap_size, outbox_min, outbox_count,
-             st_retired, st_seq) = status
+             st_retired, st_seq, horizon) = status
+            if horizon is not None and (ff is None or horizon < ff):
+                ff = horizon
             if halt_key is not None:
                 key = tuple(halt_key)
                 if halt_best is None or key < halt_best[0]:
@@ -261,7 +389,38 @@ class _Worker:
             machine._error = error_best[1]
         self.global_mark = (retired, seq_sum)
         self.global_events = pending
+        # the published-horizon minimum (None == every horizon was
+        # unbounded).  If any shard still has active cores its horizon
+        # is only one lookahead out, so this degenerates to the plain
+        # EPOCH_WIDTH epoch; only when the whole machine is event-bound
+        # can the next epoch widen.
+        self.ff_barrier = ff
         return active, nxt
+
+    def _transport_stats(self):
+        """Wall-clock transport/scheduling telemetry for this shard.
+
+        Deliberately *not* part of any machine state or report: wall
+        times are nondeterministic, and the deterministic surfaces
+        (stats, metrics reports, snapshots) must stay byte-identical
+        across shard counts and transports.  This rides the final gather
+        frame only, surfacing as ``ShardedLBP.transport_stats``.
+        """
+        stats = {
+            "shard": self.shard,
+            "transport": self.transport,
+            "epochs": self.epochs,
+            "ff_epochs": self.ff_epochs,
+            "ff_cycles": self.ff_cycles,
+            "epoch_wait_s": round(self.epoch_wait_s, 6),
+        }
+        if self.ring_send is not None:
+            stats["spills"] = sum(w.spills for w in self.ring_send.values())
+            stats["send_wait_s"] = round(
+                sum(w.wait_s for w in self.ring_send.values()), 6)
+            stats["recv_wait_s"] = round(
+                sum(r.wait_s for r in self.ring_recv.values()), 6)
+        return stats
 
     def _gather_payload(self):
         machine = self.machine
@@ -301,8 +460,10 @@ class _Worker:
                 pstats.Stats(profiler).sort_stats(
                     "cumulative").print_stats(20)
                 sys.stdout.flush()
+        payload = self._gather_payload()
+        payload["transport"] = self._transport_stats()
         _send(self.to_parent,
-              ("final", outcome, self.machine.cycle, self._gather_payload()))
+              ("final", outcome, self.machine.cycle, payload))
 
     def _loop(self, max_cycles, stop_at_cycle, snapshot_every, want_snapshots):
         machine = self.machine
@@ -360,15 +521,32 @@ class _Worker:
                 machine.cycle = cycle
                 return "limit"
 
-            # -- simulate one epoch (clipped so that pause, snapshot and
-            # limit decisions land on the exact sequential cycle)
+            # -- simulate one epoch.  The width is EPOCH_WIDTH unless
+            # the horizons merged at the last barrier prove that no
+            # cross-shard event can land (and no halt/error election can
+            # take effect) before a later cycle — then the epoch widens
+            # to that horizon: provably-safe fast-forward, no barriers
+            # in between.  Clips keep pause, snapshot and limit
+            # decisions on the exact sequential cycle.
             barrier = cycle + EPOCH_WIDTH
+            if self.ff_barrier is not None:
+                if self.ff_barrier > barrier:
+                    barrier = self.ff_barrier
+            elif self.global_mark is not None and machine._halt_at is not None:
+                # every horizon was unbounded: the whole machine is idle
+                # with empty heaps, so the pending halt is the only
+                # future — fast-forward straight to it
+                if machine._halt_at > barrier:
+                    barrier = machine._halt_at
             if stop_at_cycle is not None and stop_at_cycle < barrier:
                 barrier = stop_at_cycle
             if next_snapshot is not None and next_snapshot < barrier:
                 barrier = next_snapshot
             if limit + 1 < barrier:
                 barrier = limit + 1
+            if barrier > cycle + EPOCH_WIDTH:
+                self.ff_epochs += 1
+                self.ff_cycles += barrier - cycle - EPOCH_WIDTH
             events = machine._events
             while cycle < barrier:
                 if (machine._halt_at is not None
@@ -424,28 +602,21 @@ class _Worker:
             if machine._error is not None:
                 machine.cycle = machine._error_key[0]
                 return "error"
-            if active == 0:
-                target = global_next
-                if machine._halt_at is not None and (
-                        target is None or machine._halt_at < target):
-                    target = machine._halt_at
-                if target is None:
-                    machine.cycle = cycle
-                    return "deadlock"
-                if target > cycle:
-                    delta = target - cycle
-                    for index in owned:
-                        per_core[index].skipped_cycles += delta
-                        if metrics is not None:
-                            metrics.idle(index, cycle, delta)
-                    cycle = target
+            if (active == 0 and global_next is None
+                    and machine._halt_at is None):
+                machine.cycle = cycle
+                return "deadlock"
+            # (no explicit idle jump here: when active == 0 the merged
+            # horizons already widen the next epoch to global_next +
+            # EPOCH_WIDTH, and the in-epoch skip-ahead covers the gap in
+            # one hop with identical skipped-cycle/idle accounting)
             machine.cycle = cycle
 
 
 def _worker_main(machine, shard, bounds, peer_send, peer_recv,
-                 to_parent, from_parent, run_kwargs, profile):
+                 to_parent, from_parent, run_kwargs, profile, mesh=None):
     worker = _Worker(machine, shard, bounds, peer_send, peer_recv,
-                     to_parent, from_parent)
+                     to_parent, from_parent, mesh=mesh)
     worker.run(profile=profile, **run_kwargs)
 
 
@@ -462,7 +633,7 @@ class ShardedLBP:
     """
 
     def __init__(self, params=None, trace=None, shards=None, master=None,
-                 sanitize=False, metrics=None, backend=None):
+                 sanitize=False, metrics=None, backend=None, transport=None):
         if master is not None:
             self.master = master
         else:
@@ -470,11 +641,27 @@ class ShardedLBP:
                               metrics=metrics, backend=backend)
         if shards is None:
             raise ValueError("ShardedLBP requires an explicit shard count")
-        requested = int(shards)
-        if requested < 1:
-            raise ValueError("shards must be >= 1, got %d" % requested)
-        #: effective shard count: never more than one core per shard
-        self.shards = min(requested, self.master.params.num_cores)
+        if shards == "auto":
+            #: resolved lazily at the first run() — the auto-tuner wants
+            #: the loaded program (and any resumed state) to calibrate on
+            self.shards = "auto"
+        else:
+            requested = int(shards)
+            if requested < 1:
+                raise ValueError("shards must be >= 1, got %d" % requested)
+            #: effective shard count: never more than one core per shard
+            self.shards = min(requested, self.master.params.num_cores)
+        #: epoch data plane: None/"auto" (shm when available), "shm",
+        #: "pipe" — see :func:`choose_transport`
+        self.transport = transport
+        #: the auto-tuner's decision record, set when shards == "auto"
+        #: resolves (also surfaced through ExperimentResults.meta by the
+        #: experiments CLI)
+        self.auto_decision = None
+        #: per-shard wall-clock transport/scheduling telemetry from the
+        #: last sharded run (nondeterministic by nature, so it lives
+        #: here, outside every deterministic surface)
+        self.transport_stats = None
         #: when set, shard 0's worker runs under cProfile and prints its
         #: top-20 table before exiting (``repro run --profile --shards N``)
         self.profile_shard_zero = False
@@ -570,6 +757,11 @@ class ShardedLBP:
     def run(self, max_cycles=None, stop_at_cycle=None,
             snapshot_every=None, snapshot_callback=None):
         master = self.master
+        if self.shards == "auto":
+            from repro.parsim.autotune import choose_shards
+
+            self.shards, self.auto_decision = choose_shards(
+                master, max_cycles=max_cycles)
         if (self.shards <= 1
                 or master.halted
                 or (stop_at_cycle is not None
@@ -598,6 +790,8 @@ class _Coordinator:
         self.pids = []
         self.up = {}      # shard -> read fd (worker -> parent)
         self.down = {}    # shard -> write fd (parent -> worker)
+        self.mesh = None  # shm ring segment (None under the pipe transport)
+        self.transport = choose_transport(sharded.transport)
 
     def run(self, max_cycles, stop_at_cycle, snapshot_every,
             snapshot_callback):
@@ -612,13 +806,18 @@ class _Coordinator:
             "want_snapshots": snapshot_callback is not None,
         }
 
-        # full mesh: mesh[i][j] = (read, write) pipe carrying i -> j
+        # full mesh: mesh[i][j] = (read, write) pipe carrying i -> j.
+        # Under the shm transport the pipes stay open as the control and
+        # spill channel; the epoch data plane moves to the ring segment,
+        # created here so the forked children inherit the mapping.
         mesh = {
             i: {j: os.pipe() for j in range(shards) if j != i}
             for i in range(shards)
         }
         parent_up = {s: os.pipe() for s in range(shards)}
         parent_down = {s: os.pipe() for s in range(shards)}
+        if self.transport == "shm":
+            self.mesh = RingMesh(shards)
 
         try:
             for shard in range(shards):
@@ -677,7 +876,7 @@ class _Coordinator:
             profile = self.sharded.profile_shard_zero and shard == 0
             _worker_main(self.master, shard, self.bounds, peer_send,
                          peer_recv, to_parent, from_parent, run_kwargs,
-                         profile)
+                         profile, mesh=self.mesh)
             status = 0
         except BaseException:
             import traceback
@@ -691,15 +890,45 @@ class _Coordinator:
         finally:
             os._exit(status)
 
+    def _gather_round(self):
+        """One frame from every worker, gathered concurrently.
+
+        ``select()`` across the up-pipes rather than reading them in
+        shard order: a crashed worker must be noticed even while its
+        peers are stuck mid-epoch (under the shm transport a surviving
+        peer spins on a ring slot that will never be filled, so it
+        neither crashes nor closes its pipe).  On the first crash frame
+        (or EOF) every worker is killed, which unblocks the spinners,
+        before the failure is raised to the caller.
+        """
+        frames = {}
+        pending = dict(self.up)
+        while pending:
+            ready, _, _ = select.select(list(pending.values()), [], [])
+            for shard in sorted(pending):
+                if pending[shard] not in ready:
+                    continue
+                frame = _recv_or_fail(pending.pop(shard))
+                if frame[0] == "crash":
+                    self._kill_workers()
+                    raise MachineError(
+                        "sharded worker crashed (see the worker's "
+                        "traceback on stderr)")
+                frames[shard] = frame
+        return [frames[shard] for shard in sorted(frames)]
+
+    def _kill_workers(self):
+        for pid in self.pids:
+            try:
+                os.kill(pid, 9)
+            except OSError:
+                pass
+
     def _serve(self, snapshot_callback, stop_at_cycle):
         """Read gather rounds until the run ends; apply; decide outcome."""
         while True:
-            frames = [_recv_or_fail(self.up[s]) for s in sorted(self.up)]
+            frames = self._gather_round()
             kinds = {frame[0] for frame in frames}
-            if "crash" in kinds:
-                raise MachineError(
-                    "sharded worker crashed (see the worker's traceback "
-                    "on stderr)")
             if len(kinds) != 1:
                 raise MachineError(
                     "sharded workers desynchronised: %r" % sorted(kinds))
@@ -717,6 +946,22 @@ class _Coordinator:
         """Load the gathered shard slices into the master machine."""
         master = self.master
         master._events = []
+        shard_stats = []
+        for frame in frames:
+            payload = frame[3]
+            if "transport" in payload:
+                shard_stats.append(payload["transport"])
+        if shard_stats:
+            self.sharded.transport_stats = {
+                "transport": self.transport,
+                "shards": len(self.bounds),
+                "epoch_wait_s": round(
+                    sum(s["epoch_wait_s"] for s in shard_stats), 6),
+                "epochs": max(s["epochs"] for s in shard_stats),
+                "ff_epochs": max(s["ff_epochs"] for s in shard_stats),
+                "ff_cycles": max(s["ff_cycles"] for s in shard_stats),
+                "per_shard": shard_stats,
+            }
         for frame in frames:
             payload = frame[3]
             for index, state in payload["cores"]:
@@ -760,6 +1005,10 @@ class _Coordinator:
         raise MachineError("unknown sharded outcome %r" % (outcome,))
 
     def _cleanup(self):
+        if self.mesh is not None:
+            self.mesh.close()
+            self.mesh.unlink()
+            self.mesh = None
         for fd in list(self.up.values()) + list(self.down.values()):
             try:
                 os.close(fd)

@@ -1,0 +1,304 @@
+"""Shared-memory ring transport for the sharded engine's epoch frames.
+
+One fixed-geometry ring buffer per *directed* shard pair, all carved out
+of a single :mod:`multiprocessing.shared_memory` segment created by the
+coordinator before it forks the workers (the forked children inherit the
+mapping — no reattach, no name exchange).  A ring replaces the pickled
+pipe frame of the original transport for the epoch data plane; the mesh
+pipes stay open beside it for control, for oversize-frame spill, and as
+the automatic whole-run fallback when shared memory is unavailable.
+
+Protocol (single writer, single reader per ring)
+------------------------------------------------
+
+The two sides never share head/tail indices: the epoch protocol is
+lock-step, so each side counts frames locally and the ring only needs a
+*consumed* counter flowing reader -> writer for backpressure.  Every
+slot is guarded by a seqlock word:
+
+* writer, publishing frame ``f`` into slot ``f % slots``::
+
+      seq <- (2f + 1) mod 2^32          # odd: write in progress
+      length, crc32, flags, payload
+      seq <- (2f + 2) mod 2^32          # even: frame f published
+
+* reader, expecting frame ``f``: spin until ``seq == (2f + 2) mod 2^32``,
+  copy the payload, validate the CRC, then re-read the header and
+  confirm it did not move.  The CRC is *seeded with the frame's odd
+  sequence word*, so it is never 0 and no torn, reordered, or
+  transiently fabricated read (a cross-process mmap read has been
+  observed to return stale zero bytes for part of a header while the
+  underlying memory was valid) can validate by accident: a bad read
+  fails the check and the reader simply keeps spinning — re-reading
+  the same header converges on the writer's published stores.
+
+* backpressure: the writer stalls while ``f - consumed >= slots``.  The
+  consumed counter is published by the reader as a 32-bit value plus its
+  bitwise complement; the writer rejects any torn pair.
+
+Frames larger than the slot payload *spill*: the slot carries only the
+``SPILL`` flag and the true length, and the bytes travel over the spill
+channel (the retained mesh pipe).  Slot sequencing still orders spilled
+frames relative to ring frames, and the pipe is FIFO, so delivery order
+is untouched.
+"""
+
+import os
+import struct
+import time
+import zlib
+
+_U32 = 0xFFFFFFFF
+
+#: slot header: seqlock word, payload length, crc32, flags
+_SLOT_HDR = struct.Struct("<IIII")
+#: reader->writer consumed counter: value, ~value (torn-read check)
+_CONSUMED = struct.Struct("<II")
+#: ring header holds just the consumed pair, padded to 64 bytes so the
+#: reader-written cache line never false-shares with slot 0
+RING_HDR_BYTES = 64
+
+#: frame flag: payload travelled over the spill channel, not the slot
+SPILL = 1
+
+DEFAULT_SLOTS = 8
+DEFAULT_SLOT_BYTES = 1 << 15  # 32 KiB of payload per slot
+
+
+def _frame_crc(payload, frame):
+    """CRC of *payload* seeded with frame ``f``'s odd seqlock word.
+
+    The seed makes the expected CRC unique per frame and never zero, so
+    a header read that fabricates zeros (or resurrects a stale frame)
+    can never validate — even for an empty payload.
+    """
+    return zlib.crc32(payload, (2 * frame + 1) & _U32)
+
+
+def ring_bytes(slots, slot_bytes):
+    """Total bytes one ring occupies in the segment."""
+    return RING_HDR_BYTES + slots * (_SLOT_HDR.size + slot_bytes)
+
+
+def _backoff(spun, poll):
+    """One step of a graduated spin-wait; returns the updated counter.
+
+    Pure spin first (the common case resolves in microseconds), then
+    GIL-yield, then a short sleep with a *poll* callback so the caller
+    can notice a dead peer instead of spinning forever.
+    """
+    if spun < 200:
+        pass
+    elif spun < 2000:
+        time.sleep(0)
+    else:
+        if poll is not None:
+            poll()
+        time.sleep(5e-5)
+    return spun + 1
+
+
+class RingWriter:
+    """The producing side of one directed ring."""
+
+    def __init__(self, buf, base, slots, slot_bytes):
+        self.buf = buf
+        self.base = base
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        self.stride = _SLOT_HDR.size + slot_bytes
+        self.frame = 0  # next frame number to publish
+        #: frames diverted to the spill channel (telemetry)
+        self.spills = 0
+        #: wall seconds spent waiting on ring backpressure (telemetry)
+        self.wait_s = 0.0
+
+    def _consumed(self):
+        """The reader's consumed count, re-read until untorn."""
+        while True:
+            value, check = _CONSUMED.unpack_from(self.buf, self.base)
+            if check == (~value & _U32):
+                return value
+
+    def push(self, payload, spill=None, poll=None):
+        """Publish one frame; block while the ring is full.
+
+        *spill* is called with the payload bytes when they exceed the
+        slot capacity (``None`` raises instead).  *poll*, when given, is
+        invoked periodically during a backpressure stall so the caller
+        can detect a dead peer rather than spin forever.
+        """
+        frame = self.frame
+        if ((frame - self._consumed()) & _U32) >= self.slots:
+            spun = 0
+            t0 = time.perf_counter()
+            while ((frame - self._consumed()) & _U32) >= self.slots:
+                spun = _backoff(spun, poll)
+            self.wait_s += time.perf_counter() - t0
+        offset = self.base + RING_HDR_BYTES + (frame % self.slots) * self.stride
+        buf = self.buf
+        size = len(payload)
+        if size > self.slot_bytes:
+            if spill is None:
+                raise ValueError(
+                    "frame of %d bytes exceeds the %d-byte slot and no "
+                    "spill channel is attached" % (size, self.slot_bytes))
+            crc = _frame_crc(b"", frame)
+            _SLOT_HDR.pack_into(buf, offset, (2 * frame + 1) & _U32,
+                                size, crc, SPILL)
+            _SLOT_HDR.pack_into(buf, offset, (2 * frame + 2) & _U32,
+                                size, crc, SPILL)
+            spill(payload)
+            self.spills += 1
+        else:
+            crc = _frame_crc(payload, frame)
+            _SLOT_HDR.pack_into(buf, offset, (2 * frame + 1) & _U32,
+                                size, crc, 0)
+            buf[offset + _SLOT_HDR.size:
+                offset + _SLOT_HDR.size + size] = payload
+            _SLOT_HDR.pack_into(buf, offset, (2 * frame + 2) & _U32,
+                                size, crc, 0)
+        self.frame = frame + 1
+
+
+class RingReader:
+    """The consuming side of one directed ring."""
+
+    def __init__(self, buf, base, slots, slot_bytes):
+        self.buf = buf
+        self.base = base
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        self.stride = _SLOT_HDR.size + slot_bytes
+        self.frame = 0  # next frame number to consume
+        #: wall seconds spent waiting for the writer (telemetry)
+        self.wait_s = 0.0
+
+    def _publish_consumed(self):
+        value = self.frame & _U32
+        _CONSUMED.pack_into(self.buf, self.base, value, ~value & _U32)
+
+    def pop(self, spill=None, poll=None):
+        """Block until the next frame is published; return its payload.
+
+        *spill* is called () -> bytes to fetch an oversize frame from
+        the spill channel.  *poll* as in :meth:`RingWriter.push`.
+        """
+        frame = self.frame
+        want = (2 * frame + 2) & _U32
+        offset = self.base + RING_HDR_BYTES + (frame % self.slots) * self.stride
+        buf = self.buf
+        body = offset + _SLOT_HDR.size
+        spun = 0
+        t0 = None
+        while True:
+            seq, length, crc, flags = _SLOT_HDR.unpack_from(buf, offset)
+            if seq == want:
+                if flags & SPILL:
+                    if crc != _frame_crc(b"", frame):
+                        spun = _backoff(spun, poll)
+                        if t0 is None:
+                            t0 = time.perf_counter()
+                        continue
+                    if spill is None:
+                        raise ValueError(
+                            "peer spilled a %d-byte frame but no spill "
+                            "channel is attached" % length)
+                    payload = spill()
+                else:
+                    payload = bytes(buf[body:body + length])
+                    hdr_after = _SLOT_HDR.unpack_from(buf, offset)
+                    if (hdr_after != (seq, length, crc, flags)
+                            or len(payload) != length
+                            or _frame_crc(payload, frame) != crc):
+                        # torn, in-flight, or a transiently bad read of
+                        # valid memory — keep spinning; re-reading the
+                        # header converges on the published stores
+                        spun = _backoff(spun, poll)
+                        if t0 is None:
+                            t0 = time.perf_counter()
+                        continue
+                if t0 is not None:
+                    self.wait_s += time.perf_counter() - t0
+                self.frame = frame + 1
+                self._publish_consumed()
+                return payload
+            if t0 is None:
+                t0 = time.perf_counter()
+            spun = _backoff(spun, poll)
+
+
+class RingMesh:
+    """All ``shards * (shards - 1)`` directed rings in one shm segment.
+
+    Created by the coordinator *before* forking; each worker then builds
+    its writer/reader views over the inherited mapping with
+    :meth:`writer` / :meth:`reader`.  Only the creating (parent) process
+    may :meth:`unlink`.
+    """
+
+    def __init__(self, shards, slots=None, slot_bytes=None):
+        from multiprocessing import shared_memory
+
+        self.shards = shards
+        self.slots = slots if slots else int(
+            os.environ.get("LBP_SHM_SLOTS") or DEFAULT_SLOTS)
+        self.slot_bytes = slot_bytes if slot_bytes else int(
+            os.environ.get("LBP_SHM_SLOT_BYTES") or DEFAULT_SLOT_BYTES)
+        self._index = {}
+        offset = 0
+        size = ring_bytes(self.slots, self.slot_bytes)
+        for src in range(shards):
+            for dst in range(shards):
+                if src != dst:
+                    self._index[(src, dst)] = offset
+                    offset += size
+        self.shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        self.shm.buf[:offset] = b"\x00" * offset
+        # every ring starts with a valid (0, ~0) consumed pair
+        for base in self._index.values():
+            _CONSUMED.pack_into(self.shm.buf, base, 0, _U32)
+
+    def writer(self, src, dst):
+        return RingWriter(self.shm.buf, self._index[(src, dst)],
+                          self.slots, self.slot_bytes)
+
+    def reader(self, src, dst):
+        return RingReader(self.shm.buf, self._index[(src, dst)],
+                          self.slots, self.slot_bytes)
+
+    def close(self):
+        try:
+            self.shm.close()
+        except Exception:
+            pass
+
+    def unlink(self):
+        try:
+            self.shm.unlink()
+        except Exception:
+            pass
+
+
+_AVAILABLE = None
+
+
+def shm_available():
+    """Whether ``multiprocessing.shared_memory`` works on this host.
+
+    Probed once per process by creating (and immediately destroying) a
+    one-page segment; containers without a usable /dev/shm fail here and
+    the engine falls back to the pipe transport.
+    """
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(create=True, size=16)
+            probe.close()
+            probe.unlink()
+            _AVAILABLE = True
+        except Exception:
+            _AVAILABLE = False
+    return _AVAILABLE

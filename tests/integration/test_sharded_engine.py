@@ -151,6 +151,173 @@ def test_error_and_deadlock_parity(source, exc):
     assert outcomes[None] == outcomes[2]
 
 
+def _transports():
+    """The transports this host can exercise (pipe always; shm when real)."""
+    from repro.parsim import shm_available
+
+    return ("pipe", "shm") if shm_available() else ("pipe",)
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_shm_and_pipe_transports_are_byte_identical(shards):
+    """Same digest, stats and snapshot bytes under both transports.
+
+    This is the transport half of the acceptance bar: the epoch data
+    plane (pipe frames vs shared-memory rings) must be invisible to
+    every observable — including events that land *exactly at* a
+    published fast-forward horizon, which both transports must merge at
+    the same barrier.
+    """
+    results = {}
+    for transport in _transports():
+        machine, _ = _setget_machine(shards=shards)
+        if shards != 1:
+            machine.transport = transport
+        machine.run(max_cycles=MAX_CYCLES)
+        results[transport] = (trace_digest(machine.trace.events),
+                             machine.stats.state_dict(),
+                             snapshot(machine))
+        verify_setget(machine, 16, 64)
+    reference, _ = _setget_machine()
+    reference.run(max_cycles=MAX_CYCLES)
+    want = (trace_digest(reference.trace.events),
+            reference.stats.state_dict(), snapshot(reference))
+    for transport, got in results.items():
+        assert got == want, "transport %r diverged at shards=%d" % (
+            transport, shards)
+
+
+def test_fast_forward_engages_and_is_invisible():
+    """The widened epochs actually fire and change nothing observable.
+
+    Under the 2-cycle conservative lookahead an *active* shard always
+    publishes ``cycle + EPOCH_WIDTH``, so widening only happens in
+    globally quiet windows (every shard idle with only far-future
+    events in flight) — rare but real; the end-of-run drain reaches it.
+    The digest equality doubles as the horizon-edge proof: every event
+    posted at the last cycle before a horizon merges at the widened
+    barrier exactly where the sequential engine handles it.
+    """
+    engaged = {}
+    for transport in _transports():
+        machine, _ = _setget_machine(shards=2)
+        machine.transport = transport
+        machine.run(max_cycles=MAX_CYCLES)
+        stats = machine.transport_stats
+        assert stats["transport"] == transport
+        assert stats["epochs"] > 0
+        engaged[transport] = (stats["ff_epochs"], stats["ff_cycles"])
+        assert stats["ff_epochs"] >= 1, (
+            "fast-forward never engaged under %s" % transport)
+        assert stats["ff_cycles"] >= stats["ff_epochs"]
+    # the schedule (and therefore the widening opportunities) is
+    # deterministic: both transports widen the same epochs
+    assert len(set(engaged.values())) == 1, engaged
+
+
+def test_stop_at_cycle_lands_exactly_despite_fast_forward():
+    """A pause target inside a widened (or idle) window must not be
+    overshot: the barrier clips to ``stop_at_cycle`` before widening.
+
+    Pins the repaired latent bug where the old post-barrier idle jump
+    could sail past a pause/snapshot point during a quiet window.
+    """
+    reference, _ = _setget_machine()
+    reference.run(max_cycles=MAX_CYCLES)
+    halt_cycle = reference.cycle
+    for transport in _transports():
+        # the machine's final cycles drain through the quiet window
+        # where widening fires — stop just short of the halt
+        for stop in (halt_cycle - 1, halt_cycle - 3):
+            seq, _ = _setget_machine()
+            seq.run(max_cycles=MAX_CYCLES, stop_at_cycle=stop)
+            shd, _ = _setget_machine(shards=2)
+            shd.transport = transport
+            shd.run(max_cycles=MAX_CYCLES, stop_at_cycle=stop)
+            assert shd.cycle == seq.cycle == stop
+            assert snapshot(shd) == snapshot(seq)
+
+
+def test_snapshot_cadence_unchanged_by_transport():
+    """Periodic snapshot barriers land mid-run (including inside quiet
+    windows) at identical cycles with identical bytes on every
+    transport and shard count."""
+    want = None
+    for transport in _transports():
+        for shards in (None, 2, 4):
+            machine, _ = _setget_machine(shards=shards)
+            if shards is not None:
+                machine.transport = transport
+            taken = []
+
+            def take(m, taken=taken):
+                taken.append((m.cycle, snapshot(m)))
+
+            machine.run(max_cycles=MAX_CYCLES, snapshot_every=1777,
+                        snapshot_callback=take)
+            assert taken, "no snapshots fired"
+            if want is None:
+                want = taken
+            else:
+                assert taken == want, (transport, shards)
+
+
+def test_resume_across_transports_and_shard_counts():
+    """Pause under one transport, resume under the other (and a
+    different shard count): still bit-identical to the sequential run."""
+    transports = _transports()
+    if len(transports) < 2:
+        pytest.skip("host has no usable shared memory")
+    reference, _ = _setget_machine()
+    reference.run(max_cycles=MAX_CYCLES)
+    want_digest = trace_digest(reference.trace.events)
+    want_state = reference.state_dict()
+
+    paused, _ = _setget_machine(shards=2)
+    paused.transport = "pipe"
+    paused.run(max_cycles=MAX_CYCLES, stop_at_cycle=5000)
+    blob = snapshot(paused)
+
+    resumed = ShardedLBP(shards=4, master=restore(blob), transport="shm")
+    resumed.run(max_cycles=MAX_CYCLES)
+    assert trace_digest(resumed.trace.events) == want_digest
+    assert resumed.state_dict() == want_state
+    assert resumed.transport_stats["transport"] == "shm"
+
+
+DELAYED_ERROR_PROGRAM = """
+main:
+    li   t0, 200
+spin:
+    addi t0, t0, -1
+    bne  t0, zero, spin
+    li   t0, 0x100
+    jr   t0
+"""
+
+
+@pytest.mark.parametrize("transport", ["pipe", "shm"])
+def test_error_election_with_idle_unbounded_peers(transport):
+    """An error raised while every other shard is idle with *unbounded*
+    horizons (no heap events, no outbox) elects symmetrically at the
+    sequential cycle — the ``None`` horizons must not widen past the
+    erroring shard's barrier."""
+    from repro.parsim import shm_available
+
+    if transport == "shm" and not shm_available():
+        pytest.skip("host has no usable shared memory")
+    outcomes = {}
+    for shards in (None, 2, 4):
+        machine = LBP(Params(num_cores=4), shards=shards)
+        if shards is not None:
+            machine.transport = transport
+        machine.load(assemble(DELAYED_ERROR_PROGRAM))
+        with pytest.raises(MachineError) as err:
+            machine.run(max_cycles=MAX_CYCLES)
+        outcomes[shards] = (str(err.value), machine.cycle)
+    assert outcomes[None] == outcomes[2] == outcomes[4]
+
+
 def test_shard_count_coerced_to_core_count():
     machine, _ = _setget_machine(shards=64)
     assert isinstance(machine, ShardedLBP)

@@ -1,0 +1,88 @@
+"""Unit tests for the traffic-driven shard auto-tuner (shards="auto").
+
+The tuner must (a) never touch the master machine it calibrates for,
+(b) short-circuit to one shard on hosts that cannot run two workers in
+parallel, and (c) on capable hosts, score candidate partitions by
+measured cross-shard traffic and record a complete decision trail.
+"""
+
+import pytest
+
+from repro.compiler import compile_to_program
+from repro.machine import LBP, Params
+from repro.parsim import ShardedLBP
+from repro.parsim.autotune import (
+    candidate_shards,
+    choose_shards,
+    measure_crossings,
+)
+from repro.workloads.setget import setget_source
+
+
+def _master(num_cores=4):
+    program = compile_to_program(setget_source(16, 64), "setget.c")
+    return LBP(Params(num_cores=num_cores)).load(program)
+
+
+def test_candidates_are_powers_of_two_bounded_by_cores_and_cpus():
+    assert candidate_shards(16, 8) == [1, 2, 4, 8]
+    assert candidate_shards(4, 64) == [1, 2, 4]
+    assert candidate_shards(16, 1) == [1]
+    assert candidate_shards(1, 64) == [1]
+    assert candidate_shards(6, 6) == [1, 2, 4]
+
+
+def test_single_cpu_short_circuits_without_calibrating(monkeypatch):
+    monkeypatch.setattr("repro.parsim.autotune.usable_cpus", lambda: 1)
+    master = _master()
+    before = master.cycle
+    pick, decision = choose_shards(master)
+    assert pick == 1
+    assert decision["source"] == "cpu-count"
+    assert decision["candidates"] == [1]
+    assert "crossings" not in decision
+    assert master.cycle == before, "calibration must not touch the master"
+
+
+def test_calibration_measures_crossings_and_scores(monkeypatch):
+    monkeypatch.setattr("repro.parsim.autotune.usable_cpus", lambda: 8)
+    master = _master(num_cores=4)
+    before_cycle = master.cycle
+    pick, decision = choose_shards(master, max_cycles=4096)
+    assert decision["source"] == "calibration"
+    assert decision["candidates"] == [1, 2, 4]
+    assert pick in decision["candidates"]
+    assert decision["shards"] == pick
+    # one shard never crosses a boundary; finer cuts cross monotonically
+    assert decision["crossings"][1] == 0
+    assert decision["crossings"][2] <= decision["crossings"][4]
+    assert set(decision["scores"]) == {1, 2, 4}
+    assert decision["calib_cycles"] >= 1
+    # the master machine is untouched: same cycle, and no counting
+    # wrapper left shadowing the class's post method
+    assert master.cycle == before_cycle
+    assert "post" not in vars(master)
+
+
+def test_measure_crossings_counts_against_each_partition():
+    master = _master(num_cores=4)
+    cycles_run, crossings = measure_crossings(master, 2048, [1, 2, 4])
+    assert cycles_run >= 1
+    assert crossings[1] == 0
+    assert 0 <= crossings[2] <= crossings[4]
+
+
+def test_sharded_lbp_resolves_auto_on_first_run():
+    machine = ShardedLBP(shards="auto", master=_master())
+    assert machine.shards == "auto"
+    assert machine.auto_decision is None
+    machine.run(max_cycles=50_000_000)
+    assert isinstance(machine.shards, int) and machine.shards >= 1
+    assert machine.auto_decision["shards"] == machine.shards
+    assert machine.auto_decision["requested"] == "auto"
+    assert machine.halted
+
+
+def test_auto_rejects_nonsense_shard_strings():
+    with pytest.raises((ValueError, TypeError)):
+        ShardedLBP(shards="many", master=_master())

@@ -1,0 +1,228 @@
+"""Unit tests for the shared-memory epoch ring transport.
+
+The protocol contract (see ``repro/parsim/rings.py``): single writer,
+single reader per directed ring; frames are delivered exactly once, in
+order, across slot wraparound; a full ring blocks the writer until the
+reader publishes consumption; and *no* torn, stale, or transiently
+fabricated header read can ever be accepted — the CRC is seeded with the
+frame's odd sequence word, so validation is per-frame and never trivially
+satisfied by zeros.
+"""
+
+import marshal
+import os
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.parsim.rings import (
+    _SLOT_HDR,
+    RING_HDR_BYTES,
+    RingMesh,
+    _frame_crc,
+    ring_bytes,
+    shm_available,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="host has no usable shared memory")
+
+
+@pytest.fixture
+def mesh():
+    mesh = RingMesh(2, slots=4, slot_bytes=256)
+    yield mesh
+    mesh.close()
+    mesh.unlink()
+
+
+def test_frames_cross_wraparound_in_order(mesh):
+    """10x the slot count of frames, popped in order, sizes varying."""
+    writer = mesh.writer(0, 1)
+    reader = mesh.reader(0, 1)
+    for frame in range(40):
+        payload = bytes([frame % 251]) * (frame % 200)
+        writer.push(payload)
+        assert reader.pop() == payload
+    assert writer.frame == reader.frame == 40
+
+
+def test_ring_geometry_is_per_directed_pair(mesh):
+    """Both directions of a pair carry traffic independently."""
+    w01, w10 = mesh.writer(0, 1), mesh.writer(1, 0)
+    r01, r10 = mesh.reader(0, 1), mesh.reader(1, 0)
+    assert w01.base != w10.base
+    assert ring_bytes(mesh.slots, mesh.slot_bytes) > 0
+    w01.push(b"forward")
+    w10.push(b"backward")
+    assert r01.pop() == b"forward"
+    assert r10.pop() == b"backward"
+
+
+def test_full_ring_applies_backpressure(mesh):
+    """A writer facing a full ring blocks until the reader consumes."""
+    writer = mesh.writer(0, 1)
+    reader = mesh.reader(0, 1)
+    delivered = []
+
+    def produce():
+        for frame in range(mesh.slots * 3):
+            writer.push(b"frame-%04d" % frame)
+
+    producer = threading.Thread(target=produce)
+    producer.start()
+    time.sleep(0.05)  # let the writer fill the ring and hit the wall
+    for frame in range(mesh.slots * 3):
+        delivered.append(reader.pop())
+    producer.join()
+    assert delivered == [b"frame-%04d" % f for f in range(mesh.slots * 3)]
+    assert writer.wait_s > 0.0, "the writer never blocked on a full ring"
+
+
+def test_oversize_frames_spill(mesh):
+    """Frames larger than a slot travel over the spill channel, in order."""
+    writer = mesh.writer(0, 1)
+    reader = mesh.reader(0, 1)
+    channel = []
+    big = b"x" * (mesh.slot_bytes + 17)
+    writer.push(b"small-1")
+    writer.push(big, spill=channel.append)
+    writer.push(b"small-2")
+    assert writer.spills == 1
+    assert reader.pop() == b"small-1"
+    assert reader.pop(spill=lambda: channel.pop(0)) == big
+    assert reader.pop() == b"small-2"
+
+
+def test_oversize_without_spill_channel_raises(mesh):
+    writer = mesh.writer(0, 1)
+    with pytest.raises(ValueError):
+        writer.push(b"y" * (mesh.slot_bytes + 1))
+
+
+def test_fabricated_zero_header_is_never_accepted(mesh):
+    """A header reading (want, 0, 0, 0) must not validate.
+
+    This exact pattern was observed in the wild: a cross-process mmap
+    read transiently fabricated zeros for the length/CRC words while the
+    sequence word (and the payload) read correctly — and an empty
+    payload trivially satisfies an unseeded ``crc32(b"") == 0`` check.
+    The frame-seeded CRC rejects it; the reader keeps spinning and picks
+    up the real header on a later read.
+    """
+    writer = mesh.writer(0, 1)
+    reader = mesh.reader(0, 1)
+    payload = b"the real frame payload"
+    slot = mesh._index[(0, 1)] + RING_HDR_BYTES  # frame 0 -> slot 0
+    # fabricate: final (even) seq for frame 0, zeroed length/crc/flags
+    _SLOT_HDR.pack_into(mesh.shm.buf, slot, 2, 0, 0, 0)
+
+    state = {"polls": 0}
+
+    def poll():
+        # runs inside the reader's backoff loop: after it has seen (and
+        # must have rejected) the fabricated header, publish for real
+        if state["polls"] == 0:
+            writer.push(payload)
+        state["polls"] += 1
+
+    got = reader.pop(poll=poll)
+    assert got == payload
+    assert state["polls"] >= 1, "the fabricated header was accepted as-is"
+
+
+def test_stale_previous_frame_is_never_accepted(mesh):
+    """Slot reuse: frame f's leftover bytes cannot satisfy frame f+slots.
+
+    The seeded CRC binds a slot's contents to one frame number, so a
+    reader that laps into a reused slot spins rather than resurrecting
+    the previous occupant.
+    """
+    writer = mesh.writer(0, 1)
+    reader = mesh.reader(0, 1)
+    for frame in range(mesh.slots):
+        writer.push(b"gen-one-%d" % frame)
+        assert reader.pop() == b"gen-one-%d" % frame
+    # reader now expects frame `slots` in slot 0, which still holds
+    # frame 0's bytes; rewrite only the seq word to the expected value
+    slot = mesh._index[(0, 1)] + RING_HDR_BYTES
+    seq, length, crc, flags = _SLOT_HDR.unpack_from(mesh.shm.buf, slot)
+    want = (2 * mesh.slots + 2) & 0xFFFFFFFF
+    _SLOT_HDR.pack_into(mesh.shm.buf, slot, want, length, crc, flags)
+
+    def poll():
+        writer.push(b"gen-two")
+
+    assert reader.pop(poll=poll) == b"gen-two"
+
+
+def test_frame_crc_is_never_zero_for_empty_payload():
+    for frame in (0, 1, 7, 0x7FFFFFFF, 0xFFFFFFFE):
+        assert _frame_crc(b"", frame) != 0
+
+
+def test_fork_hammer_torn_read_protection():
+    """Two forked processes exchange frames at full speed, both ways.
+
+    This is the reproducer that exposed the fabricated-header race: the
+    mesh is created pre-fork (as the engine does), each side pushes then
+    pops every iteration, and payload sizes hop across slot boundaries.
+    Any accepted-but-wrong frame kills the child with a nonzero status.
+    """
+    mesh = RingMesh(2)
+    frames = int(os.environ.get("LBP_RING_HAMMER_FRAMES") or 12000)
+    pids = []
+    try:
+        for shard in (0, 1):
+            pid = os.fork()
+            if pid == 0:
+                status = 0
+                try:
+                    peer = 1 - shard
+                    writer = mesh.writer(shard, peer)
+                    reader = mesh.reader(peer, shard)
+                    sizes = (10, 100, 3000)
+                    for i in range(frames):
+                        body = b"x" * sizes[(i + shard) % len(sizes)]
+                        writer.push(marshal.dumps(((shard, i), body)))
+                        tag, got = marshal.loads(reader.pop())
+                        if tag != (peer, i):
+                            status = 9
+                            break
+                except BaseException:
+                    status = 8
+                finally:
+                    os._exit(status)
+            pids.append(pid)
+        statuses = [os.waitpid(pid, 0)[1] for pid in pids]
+        pids = []
+        assert statuses == [0, 0], statuses
+    finally:
+        for pid in pids:
+            try:
+                os.kill(pid, 9)
+                os.waitpid(pid, 0)
+            except OSError:
+                pass
+        mesh.close()
+        mesh.unlink()
+
+
+def test_consumed_counter_rejects_torn_pair(mesh):
+    """The writer re-reads the consumed pair until value/~value agree."""
+    writer = mesh.writer(0, 1)
+    base = mesh._index[(0, 1)]
+    # a torn pair (value without its complement) must not be trusted;
+    # repair it from the poll-free spin by racing a fixer thread
+    struct.pack_into("<II", mesh.shm.buf, base, 7, 0)
+
+    def repair():
+        time.sleep(0.02)
+        struct.pack_into("<II", mesh.shm.buf, base, 7, ~7 & 0xFFFFFFFF)
+
+    fixer = threading.Thread(target=repair)
+    fixer.start()
+    assert writer._consumed() == 7
+    fixer.join()
