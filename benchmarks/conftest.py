@@ -108,6 +108,54 @@ def _extract_backend(result):
     return None
 
 
+def _extract_workload(result):
+    """The workload name recorded in a benchmark's result rows.
+
+    Experiment rows stamped at the source (see
+    :func:`repro.eval.figures.run_matmul_experiment`) carry a
+    ``workload`` key; the first one found wins.  None when absent.
+    """
+    if isinstance(result, dict):
+        workload = result.get("workload")
+        if isinstance(workload, str):
+            return workload
+        result = result.values()
+    if isinstance(result, (list, tuple)) or not isinstance(result, str) \
+            and hasattr(result, "__iter__"):
+        for item in result:
+            workload = _extract_workload(item)
+            if workload is not None:
+                return workload
+    return None
+
+
+#: experiment-name fallbacks for benchmarks whose results don't carry a
+#: ``workload`` key — first substring match wins
+_WORKLOAD_BY_NAME = (
+    ("serve_load", "job_service"),
+    ("serving", "serving"),
+    ("matmul", "matmul"),
+    ("setget", "setget"),
+    ("io_", "iopatterns"),
+    ("router", "matmul"),
+    ("cycle_determinism", "matmul"),
+    ("classic_smp", "synthetic"),
+    ("overhead", "matmul"),
+    ("cache_sweep", "matmul"),
+    ("backend", "matmul"),
+    ("shard", "matmul"),
+    ("shm_transport", "matmul"),
+    ("pipeline", "alu_micro"),
+)
+
+
+def _infer_workload(experiment):
+    for needle, workload in _WORKLOAD_BY_NAME:
+        if needle in experiment:
+            return workload
+    return "unknown"
+
+
 def _sharded_transport():
     """The epoch transport a sharded run resolves on this host/env."""
     try:
@@ -144,6 +192,10 @@ def _record_perf(experiment, wall, result, jobs=None, extra=None):
         "retired_per_s": round(retired / wall) if measurable and simulated
         else None,
         "date": time.strftime("%Y-%m-%d %H:%M:%S"),
+        # every trajectory row names its workload so per-workload perf
+        # curves can be separated out; result rows win over inference,
+        # and an explicit ``extra`` key (merged below) wins over both
+        "workload": _extract_workload(result) or _infer_workload(experiment),
     }
     if not simulated:
         entry["non_perf"] = True

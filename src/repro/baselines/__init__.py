@@ -5,12 +5,20 @@
   (experiment E4): same work, same results, but timer interrupts,
   seeded scheduling jitter and thread migrations make every run's timing
   different.
+* :mod:`repro.baselines.detcon` — Aviram & Ford's Deterministic
+  Consistency model: a *software-only* deterministic alternative that
+  buys schedule-independent results with quantum barriers and
+  write-set merges, sitting between the other two in the E-series
+  tables (LBP: deterministic and fast; DC: deterministic, pays merge
+  overhead; classic: fast on average, nondeterministic timing).
 * :mod:`repro.baselines.xeonphi` — an analytic Knights-Landing-class
   model standing in for the paper's physical Xeon Phi 7210 (figure 21's
   rightmost bars).
 """
 
 from repro.baselines.classic_smp import ClassicSMP
+from repro.baselines.detcon import DetCon, classic_store_order, merge_quantum
 from repro.baselines.xeonphi import XeonPhiModel
 
-__all__ = ["ClassicSMP", "XeonPhiModel"]
+__all__ = ["ClassicSMP", "DetCon", "XeonPhiModel", "classic_store_order",
+           "merge_quantum"]

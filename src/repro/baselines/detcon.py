@@ -1,0 +1,224 @@
+"""Deterministic Consistency (DC): a software-only determinism baseline.
+
+Aviram & Ford's *Deterministic Consistency* (PAPERS.md) is the natural
+software counterpoint to LBP's hardware determinism claim: instead of an
+out-of-order engine that replays the referential order exactly, DC makes
+a *conventional* shared-memory machine deterministic by changing the
+memory model.  Threads execute in **quanta** between deterministic
+synchronization points; within a quantum
+
+* every read returns the value the location held at the *last*
+  synchronization point (each thread logically works on a private
+  snapshot of shared memory), and
+* every write is buffered privately and becomes visible to other
+  threads only at the *next* synchronization point,
+
+where the per-thread write sets are **merged in a deterministic order**
+(task creation order — program order — not arrival order).  Concurrent
+writes to the same location are a *conflict*: deterministically
+detectable at the merge, resolved here by task order (Determinator-style
+runtimes would fault instead; we record the conflict either way so
+callers can choose).
+
+Two things follow, and both are what the E-series tables compare:
+
+1. **Result determinism is free of the schedule.** However the OS
+   interleaves, migrates or preempts the quanta, the merged memory after
+   each barrier is a pure function of (snapshot, write sets) — contrast
+   :mod:`repro.baselines.classic_smp`, where a planted store-order race
+   lands differently run to run.
+2. **Determinism is paid for in time, not hardware.** Every quantum
+   boundary costs a barrier plus a merge proportional to the dirty
+   words.  LBP pays neither (the referential order is enforced by the
+   rename/result-buffer machinery at full speed); classic SMP pays
+   nothing but returns a different cycle count every run.  The timing
+   model below makes that three-way comparison quantitative on the same
+   task shapes :class:`~repro.baselines.classic_smp.ClassicSMP` accepts.
+
+The model is intentionally analytic, like ``classic_smp`` and
+``xeonphi``: it prices an execution, it does not interpret RISC-V.
+"""
+
+MASK32 = 0xFFFFFFFF
+
+
+def merge_quantum(base, write_sets):
+    """Deterministically merge one quantum's write sets into *base*.
+
+    *base* is a mapping ``{addr: value}`` (the shared snapshot at the
+    last synchronization point); *write_sets* is an iterable of
+    ``(task_id, {addr: value})`` pairs in **any** order — the merge is
+    ordered by ``task_id``, so presentation order (the nondeterministic
+    part of a real run: which thread reached the barrier first) cannot
+    influence the result.  Returns ``(merged, conflicts)`` where
+    *merged* is a new dict and *conflicts* lists ``(addr, [task_ids])``
+    for every location written by more than one task (sorted by
+    address; the task in highest program order wins the value, the way
+    a "writes merged in thread order" runtime resolves it).
+    """
+    merged = dict(base)
+    writers = {}
+    for task_id, writes in sorted(write_sets, key=lambda item: item[0]):
+        for addr, value in writes.items():
+            merged[addr] = value & MASK32
+            writers.setdefault(addr, []).append(task_id)
+    conflicts = [(addr, tids) for addr, tids in sorted(writers.items())
+                 if len(tids) > 1]
+    return merged, conflicts
+
+
+class DCRunStats:
+    """Timing + accounting of one DC execution."""
+
+    def __init__(self, cycles, quanta, barriers, merged_words, conflicts):
+        self.cycles = cycles
+        self.quanta = quanta
+        self.barriers = barriers
+        self.merged_words = merged_words
+        self.conflicts = conflicts
+
+
+class DetCon:
+    """N-core Deterministic-Consistency machine (analytic model).
+
+    Mirrors the :class:`~repro.baselines.classic_smp.ClassicSMP`
+    constructor/API shape so experiment tables can swap models, but has
+    **no RNG**: the whole point of the baseline is that every run —
+    whatever the physical schedule — prices and merges identically.
+    ``seed`` is accepted for API parity and deliberately ignored.
+
+    * ``quantum`` — instructions a task executes between global
+      synchronization points;
+    * ``barrier_cost`` — cycles per quantum boundary (the deterministic
+      scheduling point all tasks synchronize on);
+    * ``merge_cost_per_word`` — cycles per dirty word published at a
+      boundary (the copy-on-write/diff-merge cost of the DC runtime);
+    * ``ipc`` — per-core retire rate between boundaries.
+    """
+
+    def __init__(self, num_cores, seed=0, quantum=10_000, barrier_cost=400,
+                 merge_cost_per_word=2, ipc=1.0):
+        self.num_cores = num_cores
+        self.seed = seed  # ignored: DC has no schedule-dependent state
+        self.quantum = quantum
+        self.barrier_cost = barrier_cost
+        self.merge_cost_per_word = merge_cost_per_word
+        self.ipc = ipc
+
+    # ---- timing model --------------------------------------------------------
+
+    def run_tasks(self, instruction_counts, write_words_per_task=0):
+        """Price the execution of tasks given as instruction counts.
+
+        Tasks are dealt round-robin to cores (the deterministic
+        placement classic_smp starts from, minus its migrations).
+        Execution proceeds in global quantum rounds: each round, every
+        live task runs ``min(quantum, remaining)`` instructions; the
+        round closes with one barrier plus the merge of the round's
+        dirty words.  ``write_words_per_task`` is the write-set size a
+        task publishes per round (int, or a per-task list).
+
+        Returns :class:`DCRunStats`; calling twice — or on a machine
+        built with any other ``seed`` — returns identical numbers.
+        """
+        counts = list(instruction_counts)
+        if isinstance(write_words_per_task, int):
+            dirty = [write_words_per_task] * len(counts)
+        else:
+            dirty = list(write_words_per_task)
+        remaining = [count / self.ipc for count in counts]
+        quantum_cycles = self.quantum / self.ipc
+        total = 0.0
+        quanta = 0
+        barriers = 0
+        merged_words = 0
+        while any(r > 0 for r in remaining):
+            core_time = [0.0] * self.num_cores
+            round_dirty = 0
+            for tid, left in enumerate(remaining):
+                if left <= 0:
+                    continue
+                work = min(left, quantum_cycles)
+                core_time[tid % self.num_cores] += work
+                remaining[tid] = left - work
+                round_dirty += dirty[tid]
+                quanta += 1
+            barriers += 1
+            merged_words += round_dirty
+            total += (max(core_time) + self.barrier_cost
+                      + self.merge_cost_per_word * round_dirty)
+        return DCRunStats(int(round(total)), quanta, barriers, merged_words,
+                          conflicts=[])
+
+    def run_many(self, instruction_counts, runs, write_words_per_task=0):
+        """Paper-style (min, avg, max) over *runs* — all three identical.
+
+        The contrast with ``ClassicSMP.run_many``: re-running a DC
+        execution re-prices the same deterministic schedule, so the
+        spread collapses to a point.
+        """
+        cycles = self.run_tasks(instruction_counts,
+                                write_words_per_task).cycles
+        return cycles, float(cycles), cycles
+
+    # ---- memory semantics ----------------------------------------------------
+
+    def run_quanta(self, memory, quanta):
+        """Execute tasks with DC memory semantics; returns (memory, stats).
+
+        *memory* is the initial shared state ``{addr: value}``;
+        *quanta* is a list of rounds, each a list of ``(task_id,
+        instructions, fn)`` where ``fn(snapshot)`` computes the task's
+        write set ``{addr: value}`` from a **read-only snapshot** of
+        shared memory as of the last synchronization point.  Tasks in a
+        round never see each other's writes (reads-from-snapshot), and
+        their write sets merge at the round barrier in task-id order —
+        shuffling a round's task list is therefore unobservable, which
+        :func:`merge_quantum`'s tests pin as commutativity.
+        """
+        memory = dict(memory)
+        total = 0.0
+        quanta_run = 0
+        merged_words = 0
+        all_conflicts = []
+        for round_tasks in quanta:
+            snapshot = dict(memory)
+            write_sets = []
+            core_time = [0.0] * self.num_cores
+            round_dirty = 0
+            for task_id, instructions, fn in round_tasks:
+                writes = fn(snapshot)
+                write_sets.append((task_id, writes))
+                core_time[task_id % self.num_cores] += (
+                    instructions / self.ipc)
+                round_dirty += len(writes)
+                quanta_run += 1
+            memory, conflicts = merge_quantum(memory, write_sets)
+            all_conflicts.extend(conflicts)
+            merged_words += round_dirty
+            total += (max(core_time) if core_time else 0.0) \
+                + self.barrier_cost \
+                + self.merge_cost_per_word * round_dirty
+        stats = DCRunStats(int(round(total)), quanta_run, len(quanta),
+                           merged_words, all_conflicts)
+        return memory, stats
+
+
+def classic_store_order(memory, write_sets, completion_order):
+    """Apply write sets in a *schedule-dependent* order (the contrast).
+
+    Models what a conventional coherent machine commits: the last store
+    to an address wins, and "last" is decided by the physical completion
+    order of the tasks — exactly the quantity a classic OS-scheduled run
+    (:class:`~repro.baselines.classic_smp.ClassicSMP`) perturbs from
+    seed to seed.  *completion_order* is a list of task ids; write sets
+    apply in that order.  Used by the divergence tests to show the same
+    planted store-order case lands differently per classic schedule
+    while :func:`merge_quantum` lands identically however it is fed.
+    """
+    sets = dict(write_sets)
+    memory = dict(memory)
+    for task_id in completion_order:
+        for addr, value in sets[task_id].items():
+            memory[addr] = value & MASK32
+    return memory

@@ -41,6 +41,7 @@ def run_matmul_experiment(version, h, num_cores, scale=1, simulator="cycle",
     stats = machine.run(max_cycles=max_cycles)
     verify_matmul(machine, program, version, h, scale=scale)
     row = {
+        "workload": "matmul",
         "version": version,
         "h": h,
         "cores": num_cores,

@@ -1,4 +1,7 @@
-"""Workload generators: the paper's evaluation programs, as DetC sources.
+"""Workload generators: the paper's evaluation programs plus the
+scenario-diversity families, as DetC sources.
+
+Paper programs:
 
 * :mod:`repro.workloads.matmul` — the five matrix-multiplication versions
   of section 7 (base, copy, distributed, d+c, tiled), parametrised by the
@@ -7,8 +10,39 @@
   code of figure 4 (locality + hardware barrier).
 * :mod:`repro.workloads.sensors` — the sensor-fusion I/O application of
   figure 16.
+* :mod:`repro.workloads.iopatterns` — the §6 controller-hart and DMA
+  patterns (figure 17).
+
+Scenario-diversity families (each self-checking against a Python
+reference, each pinned by the golden conformance tier — see
+``tests/integration/test_workload_conformance.py``):
+
+* :mod:`repro.workloads.serving` — a deterministic request/response
+  server on the I/O-controller harts: seeded request schedule baked into
+  the program, dispatch over ``p_swre`` dependency chains, per-request
+  latency recoverable from the trace.
+* :mod:`repro.workloads.sort` — parallel merge sort (per-hart slices +
+  log2(h) ping-pong merge passes).
+* :mod:`repro.workloads.stencil` — 1-D 3-point Jacobi steps with
+  neighbour-boundary sharing between regions.
+* :mod:`repro.workloads.reduction` — tree reduction with geometrically
+  narrowing cross-hart reads.
+* :mod:`repro.workloads.histogram` — private counters + transposed
+  merge; data-dependent store addressing.
 """
 
 from repro.workloads.matmul import MATMUL_VERSIONS, matmul_source, verify_matmul
+from repro.workloads.histogram import HistogramWorkload, histogram_source
+from repro.workloads.reduction import ReductionWorkload, reduction_source
+from repro.workloads.serving import ServingWorkload, serving_source
+from repro.workloads.sort import SortWorkload, sort_source
+from repro.workloads.stencil import StencilWorkload, stencil_source
 
-__all__ = ["MATMUL_VERSIONS", "matmul_source", "verify_matmul"]
+__all__ = [
+    "MATMUL_VERSIONS", "matmul_source", "verify_matmul",
+    "ServingWorkload", "serving_source",
+    "SortWorkload", "sort_source",
+    "StencilWorkload", "stencil_source",
+    "ReductionWorkload", "reduction_source",
+    "HistogramWorkload", "histogram_source",
+]

@@ -1,0 +1,93 @@
+"""Histogram with private counters + transposed merge — data-dependent
+indexing.
+
+Phase 1: every hart counts its slice into a *private* row of counters,
+``priv[t * BINS + D[i]]`` — the store address depends on the **data**,
+not the loop index, which no other workload in the suite exercises (a
+wrong value anywhere in the seeded input moves a store to a different
+word).  Phase 2 runs one thread per *bin*, summing column *b* across all
+private rows — a transposed, strided read pattern over words each
+written by a different hart.  The privatize-then-reduce shape is exactly
+what the race-repair loop (ROADMAP) must synthesize for shared
+histograms, so keeping its race-free form pinned here gives that future
+pass a reference target.  Self-checking against ``collections.Counter``.
+"""
+
+import random
+
+MASK32 = 0xFFFFFFFF
+
+
+class HistogramWorkload:
+    """h-hart histogram of ``h * chunk`` seeded values into ``bins``."""
+
+    def __init__(self, h, chunk=16, bins=8, seed=0):
+        self.h = h
+        self.chunk = chunk
+        self.bins = bins
+        self.n = h * chunk
+        self.seed = seed
+        rng = random.Random(seed)
+        self.values = [rng.randrange(bins) for _ in range(self.n)]
+
+    @property
+    def source(self):
+        return """
+#include <det_omp.h>
+#define BINS %(bins)d
+int D[%(n)d] = {%(values)s};
+int priv[%(priv)d];
+int hist[BINS];
+
+void count_slice(int t) {
+    int i;
+    for (i = t * %(chunk)d; i < (t + 1) * %(chunk)d; i++)
+        priv[t * BINS + D[i]] += 1;
+}
+
+void merge_bin(int b) {
+    int t, acc;
+    acc = 0;
+    for (t = 0; t < %(h)d; t++)
+        acc += priv[t * BINS + b];
+    hist[b] = acc;
+}
+
+void main() {
+    int t;
+    omp_set_num_threads(%(h)d);
+    #pragma omp parallel for
+    for (t = 0; t < %(h)d; t++)
+        count_slice(t);
+    omp_set_num_threads(%(region2)d);
+    #pragma omp parallel for
+    for (t = 0; t < BINS; t++)
+        merge_bin(t);
+}
+""" % {
+            "bins": self.bins, "n": self.n, "h": self.h,
+            "chunk": self.chunk, "priv": self.h * self.bins,
+            "region2": self.bins,
+            "values": ", ".join(str(v) for v in self.values),
+        }
+
+    def expected(self):
+        counts = [0] * self.bins
+        for value in self.values:
+            counts[value] += 1
+        return counts
+
+    def verify(self, machine, program):
+        base = program.symbol("hist")
+        expected = self.expected()
+        for b in range(self.bins):
+            actual = machine.read_word(base + 4 * b)
+            if actual != expected[b]:
+                raise AssertionError(
+                    "histogram: hist[%d] is %d, expected %d"
+                    % (b, actual, expected[b]))
+        return True
+
+
+def histogram_source(h, chunk=16, bins=8, seed=0):
+    return HistogramWorkload(h, chunk, bins, seed).source

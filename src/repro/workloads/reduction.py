@@ -1,0 +1,100 @@
+"""Tree reduction — geometrically narrowing cross-hart reads.
+
+Phase 1: every hart sums its own slice into ``partial[t]`` (disjoint
+writes).  Then ``log2(h)`` combine passes: pass with stride *s* runs *s*
+threads, each folding ``partial[m + s]`` — a word written by a
+*different* hart in the previous pass — into ``partial[m]``.  The access
+distance halves every pass, so the final passes are pure cross-core
+traffic with tiny work per thread: the worst case for any engine that
+batches or reorders cross-shard stores, and the sharpest probe of the
+join's happens-before edge (read-after-write to the same word across
+regions).  Self-checking: ``partial[0]`` must equal ``sum(values)``.
+"""
+
+import random
+
+MASK32 = 0xFFFFFFFF
+
+
+def _is_pow2(value):
+    return value > 0 and value & (value - 1) == 0
+
+
+class ReductionWorkload:
+    """h-hart tree sum of ``h * chunk`` seeded values."""
+
+    def __init__(self, h, chunk=16, seed=0, max_value=1 << 20):
+        if not _is_pow2(h):
+            raise ValueError("h must be a power of two (combine tree)")
+        self.h = h
+        self.chunk = chunk
+        self.n = h * chunk
+        self.seed = seed
+        rng = random.Random(seed)
+        self.values = [rng.randrange(max_value) for _ in range(self.n)]
+
+    @property
+    def source(self):
+        combine_fns = []
+        regions = []
+        stride = self.h // 2
+        index = 0
+        while stride >= 1:
+            combine_fns.append("""
+void combine%(i)d(int m) {
+    partial[m] += partial[m + %(s)d];
+}""" % {"i": index, "s": stride})
+            regions.append("""
+    omp_set_num_threads(%(s)d);
+    #pragma omp parallel for
+    for (t = 0; t < %(s)d; t++)
+        combine%(i)d(t);""" % {"s": stride, "i": index})
+            stride //= 2
+            index += 1
+        return """
+#include <det_omp.h>
+int V[%(n)d] = {%(values)s};
+int partial[%(h)d];
+int result;
+
+void leaf(int t) {
+    int i, acc;
+    acc = 0;
+    for (i = t * %(chunk)d; i < (t + 1) * %(chunk)d; i++)
+        acc += V[i];
+    partial[t] = acc;
+}
+%(combine_fns)s
+
+void main() {
+    int t;
+    omp_set_num_threads(%(h)d);
+    #pragma omp parallel for
+    for (t = 0; t < %(h)d; t++)
+        leaf(t);
+%(regions)s
+    result = partial[0];
+}
+""" % {
+            "n": self.n, "h": self.h, "chunk": self.chunk,
+            "values": ", ".join(str(v) for v in self.values),
+            "combine_fns": "".join(combine_fns),
+            "regions": "".join(regions),
+        }
+
+    def expected(self):
+        return sum(self.values) & MASK32
+
+    def verify(self, machine, program):
+        expected = self.expected()
+        for symbol in ("result",):
+            actual = machine.read_word(program.symbol(symbol))
+            if actual != expected:
+                raise AssertionError(
+                    "reduction: %s is %d, expected %d"
+                    % (symbol, actual, expected))
+        return True
+
+
+def reduction_source(h, chunk=16, seed=0):
+    return ReductionWorkload(h, chunk, seed).source

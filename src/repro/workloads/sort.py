@@ -1,0 +1,128 @@
+"""Parallel merge sort — irregular, phase-structured sharing.
+
+The first family member that is *not* a dense loop nest: phase 1 sorts
+per-hart slices in place (insertion sort, data-dependent branch and
+shift patterns); then ``log2(h)`` merge passes, each halving the thread
+count, ping-pong the data between two buffers.  Every pass reads runs
+produced by *two* different harts of the previous phase, so the sharing
+pattern widens geometrically — ordered purely by the parallel-region
+joins, no locks, no atomics.  Self-checking: the final buffer must equal
+``sorted(input)`` computed in Python.
+"""
+
+import random
+
+MASK32 = 0xFFFFFFFF
+
+
+def _is_pow2(value):
+    return value > 0 and value & (value - 1) == 0
+
+
+class SortWorkload:
+    """h-hart merge sort of ``h * chunk`` seeded values."""
+
+    def __init__(self, h, chunk=8, seed=0, max_value=100_000):
+        if not _is_pow2(h):
+            raise ValueError("h must be a power of two (merge-tree passes)")
+        self.h = h
+        self.chunk = chunk
+        self.n = h * chunk
+        self.seed = seed
+        rng = random.Random(seed)
+        self.values = [rng.randrange(max_value) for _ in range(self.n)]
+        self.passes = h.bit_length() - 1  # log2(h) merge passes
+
+    @property
+    def result_symbol(self):
+        """Which buffer holds the sorted data after all passes."""
+        return "A" if self.passes % 2 == 0 else "B"
+
+    @property
+    def source(self):
+        h, chunk, n = self.h, self.chunk, self.n
+        merge_fns = []
+        regions = []
+        for p in range(1, self.passes + 1):
+            width = chunk << (p - 1)
+            threads = h >> p
+            src, dst = ("A", "B") if p % 2 == 1 else ("B", "A")
+            merge_fns.append("""
+void merge%(p)d(int m) {
+    int lo = m * %(two_w)d;
+    int mid = lo + %(w)d;
+    int hi = mid + %(w)d;
+    int i = lo;
+    int j = mid;
+    int k = lo;
+    while (i < mid && j < hi) {
+        if (%(src)s[i] <= %(src)s[j]) {
+            %(dst)s[k] = %(src)s[i];
+            i++;
+        } else {
+            %(dst)s[k] = %(src)s[j];
+            j++;
+        }
+        k++;
+    }
+    while (i < mid) { %(dst)s[k] = %(src)s[i]; i++; k++; }
+    while (j < hi) { %(dst)s[k] = %(src)s[j]; j++; k++; }
+}""" % {"p": p, "w": width, "two_w": 2 * width, "src": src, "dst": dst})
+            regions.append("""
+    omp_set_num_threads(%(threads)d);
+    #pragma omp parallel for
+    for (t = 0; t < %(threads)d; t++)
+        merge%(p)d(t);""" % {"threads": threads, "p": p})
+        return """
+#include <det_omp.h>
+int A[%(n)d] = {%(values)s};
+int B[%(n)d];
+
+void sort_slice(int t) {
+    int i, j, v;
+    int lo = t * %(chunk)d;
+    int hi = lo + %(chunk)d;
+    for (i = lo + 1; i < hi; i++) {
+        v = A[i];
+        j = i - 1;
+        while (j >= lo && A[j] > v) {
+            A[j + 1] = A[j];
+            j--;
+        }
+        A[j + 1] = v;
+    }
+}
+%(merge_fns)s
+
+void main() {
+    int t;
+    omp_set_num_threads(%(h)d);
+    #pragma omp parallel for
+    for (t = 0; t < %(h)d; t++)
+        sort_slice(t);
+%(regions)s
+}
+""" % {
+            "n": n, "h": h, "chunk": chunk,
+            "values": ", ".join(str(v) for v in self.values),
+            "merge_fns": "".join(merge_fns),
+            "regions": "".join(regions),
+        }
+
+    def expected(self):
+        return sorted(self.values)
+
+    def verify(self, machine, program):
+        base = program.symbol(self.result_symbol)
+        expected = self.expected()
+        for i in range(self.n):
+            actual = machine.read_word(base + 4 * i)
+            if actual != expected[i] & MASK32:
+                raise AssertionError(
+                    "sort: %s[%d] is %d, expected %d"
+                    % (self.result_symbol, i, actual, expected[i]))
+        return True
+
+
+def sort_source(h, chunk=8, seed=0):
+    return SortWorkload(h, chunk, seed).source

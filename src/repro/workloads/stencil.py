@@ -1,0 +1,105 @@
+"""1-D 3-point stencil (Jacobi relaxation) — neighbour-boundary sharing.
+
+Each time step is one parallel region: thread *t* rewrites its slice of
+``B`` from ``A`` (or back, on odd steps — double buffering), reading one
+cell past each slice edge.  Those boundary reads are the irregular bit:
+every step, each hart reads two words most recently written by its
+*neighbour* harts in the previous step, with only the region join
+ordering the exchange.  Matmul never exercises this
+producer-to-consumer neighbour chaining; a misordered join or a stale
+epoch frame in the sharded engine shows up here as a wrong relaxation
+after a handful of steps.  Self-checking against a Python reference of
+the same integer arithmetic.
+"""
+
+import random
+
+MASK32 = 0xFFFFFFFF
+
+
+class StencilWorkload:
+    """h threads × ``steps`` Jacobi steps over ``h * width`` cells."""
+
+    def __init__(self, h, width=8, steps=4, seed=0, max_value=256):
+        self.h = h
+        self.width = width
+        self.n = h * width
+        self.steps = steps
+        self.seed = seed
+        rng = random.Random(seed)
+        self.values = [rng.randrange(max_value) for _ in range(self.n)]
+
+    @property
+    def result_symbol(self):
+        return "A" if self.steps % 2 == 0 else "B"
+
+    @property
+    def source(self):
+        bodies = []
+        regions = []
+        for direction, src, dst in (("ab", "A", "B"), ("ba", "B", "A")):
+            bodies.append("""
+void step_%(dir)s(int t) {
+    int i, lo, hi;
+    lo = t * %(width)d;
+    hi = lo + %(width)d;
+    if (lo == 0) {
+        %(dst)s[0] = %(src)s[0];
+        lo = 1;
+    }
+    if (hi == %(n)d) {
+        %(dst)s[%(n_max)d] = %(src)s[%(n_max)d];
+        hi = %(n)d - 1;
+    }
+    for (i = lo; i < hi; i++)
+        %(dst)s[i] = (%(src)s[i - 1] + %(src)s[i] + %(src)s[i + 1]) / 3;
+}""" % {"dir": direction, "src": src, "dst": dst,
+                "width": self.width, "n": self.n, "n_max": self.n - 1})
+        for step in range(self.steps):
+            direction = "ab" if step % 2 == 0 else "ba"
+            regions.append("""
+    #pragma omp parallel for
+    for (t = 0; t < %(h)d; t++)
+        step_%(dir)s(t);""" % {"h": self.h, "dir": direction})
+        return """
+#include <det_omp.h>
+int A[%(n)d] = {%(values)s};
+int B[%(n)d];
+%(bodies)s
+
+void main() {
+    int t;
+    omp_set_num_threads(%(h)d);
+%(regions)s
+}
+""" % {
+            "n": self.n, "h": self.h,
+            "values": ", ".join(str(v) for v in self.values),
+            "bodies": "".join(bodies),
+            "regions": "".join(regions),
+        }
+
+    def expected(self):
+        """Python reference: same integer averaging, same step count."""
+        cells = list(self.values)
+        for _step in range(self.steps):
+            nxt = list(cells)
+            for i in range(1, self.n - 1):
+                nxt[i] = (cells[i - 1] + cells[i] + cells[i + 1]) // 3
+            cells = nxt
+        return cells
+
+    def verify(self, machine, program):
+        base = program.symbol(self.result_symbol)
+        expected = self.expected()
+        for i in range(self.n):
+            actual = machine.read_word(base + 4 * i)
+            if actual != expected[i] & MASK32:
+                raise AssertionError(
+                    "stencil: %s[%d] is %d, expected %d"
+                    % (self.result_symbol, i, actual, expected[i]))
+        return True
+
+
+def stencil_source(h, width=8, steps=4, seed=0):
+    return StencilWorkload(h, width, steps, seed).source

@@ -40,6 +40,7 @@ from tests.integration.test_paper_listings import (
 from tests.integration.test_trace_golden import (
     GOLDEN_PATH,
     RE_CONTENTION,
+    SCENARIOS,
     trace_digest,
 )
 
@@ -130,6 +131,22 @@ def check_re_contention():
     return _sanitized(assemble(RE_CONTENTION), cores=1).race_report()
 
 
+def check_scenario(name):
+    """One scenario-diversity workload (serving / sort / stencil /
+    reduction / histogram), sanitized, self-checked, race report back.
+    A workload that relies on a declared polling protocol (the serving
+    controller's worker-registration poll) exposes it as ``race_sync``."""
+    factory, cores = SCENARIOS[name]
+    workload = factory()
+    program = compile_to_program(workload.source, name + ".c")
+    machine = _sanitized(program, cores)
+    workload.verify(machine, program)
+    sync = getattr(workload, "race_sync", None)
+    if sync is not None:
+        sync = [(program.symbol(sym), words * 4) for sym, words in sync]
+    return machine.race_report(sync=sync)
+
+
 CLEAN_CASES = {
     "figure_1": check_figure_1,
     "figure_2": check_figure_2,
@@ -144,6 +161,9 @@ CLEAN_CASES = {
 CLEAN_CASES.update({
     "matmul_" + version: (lambda v=version: check_matmul(v))
     for version in MATMUL_VERSIONS
+})
+CLEAN_CASES.update({
+    name: (lambda n=name: check_scenario(n)) for name in SCENARIOS
 })
 
 

@@ -22,6 +22,8 @@ from repro.compiler import compile_to_program
 from repro.machine import LBP, Params
 from repro.workloads.matmul import matmul_source, verify_matmul
 from repro.workloads.setget import setget_source, verify_setget
+from repro.workloads import (HistogramWorkload, ReductionWorkload,
+                             ServingWorkload, SortWorkload, StencilWorkload)
 
 GOLDEN_PATH = os.path.join(
     os.path.dirname(__file__), "..", "data", "golden_traces.json")
@@ -86,9 +88,9 @@ def trace_digest(events):
     return h.hexdigest()
 
 
-def _run_traced(program, cores, shards=None):
+def _run_traced(program, cores, shards=None, **engine):
     machine = LBP(Params(num_cores=cores, trace_enabled=True),
-                  shards=shards).load(program)
+                  shards=shards, **engine).load(program)
     stats = machine.run(max_cycles=50_000_000)
     return machine, stats
 
@@ -114,6 +116,37 @@ def run_re_contention_workload(shards=None):
     return machine, stats
 
 
+#: scenario-diversity families: self-checking workload objects (see
+#: ``repro.workloads``) pinned at tiny, fast configurations.  Each entry
+#: is ``(factory, cores)``; the runner threads arbitrary engine knobs
+#: (backend / sanitize / metrics) through so the conformance tier
+#: (``test_workload_conformance.py``) can sweep its matrix against the
+#: same golden digests.
+SCENARIOS = {
+    "serving_r12_c2":
+        (lambda: ServingWorkload(cores=2, num_requests=12, seed=7), 2),
+    "sort_h8_c2": (lambda: SortWorkload(8, chunk=8, seed=3), 2),
+    "stencil_h8_c2": (lambda: StencilWorkload(8, width=8, steps=4, seed=3), 2),
+    "reduction_h8_c2": (lambda: ReductionWorkload(8, chunk=16, seed=3), 2),
+    "histogram_h8_c2":
+        (lambda: HistogramWorkload(8, chunk=16, bins=8, seed=3), 2),
+}
+
+
+def run_scenario_workload(name, shards=None, **engine):
+    factory, cores = SCENARIOS[name]
+    workload = factory()
+    program = compile_to_program(workload.source, name + ".c")
+    machine, stats = _run_traced(program, cores, shards, **engine)
+    workload.verify(machine, program)
+    return machine, stats
+
+
+def _scenario_runner(name):
+    return lambda shards=None, **engine: run_scenario_workload(
+        name, shards, **engine)
+
+
 WORKLOADS = {
     "matmul_base_h16_c4":
         lambda shards=None: run_matmul_workload("base", shards),
@@ -122,6 +155,7 @@ WORKLOADS = {
     "setget_h16_chunk64_c4": run_setget_workload,
     "re_contention_c1": run_re_contention_workload,
 }
+WORKLOADS.update({name: _scenario_runner(name) for name in SCENARIOS})
 
 
 def measure(name, shards=None):

@@ -34,6 +34,8 @@ from repro.compiler import compile_to_program
 from repro.fastsim import FastLBP
 from repro.machine import LBP, Params
 from repro.parsim import shm_available
+from repro.workloads import (HistogramWorkload, ReductionWorkload,
+                             ServingWorkload, SortWorkload, StencilWorkload)
 
 CORES = 4
 MASK = 0xFFFFFFFF
@@ -186,5 +188,76 @@ def test_four_engines_agree(case):
     # 5. generated programs are race-free by construction; the detector
     #    must agree (no false positives on random fork/join shapes)
     report = cycle.race_report()
+    assert report.clean, report.format()
+    assert report.blocked == 0
+
+
+@st.composite
+def scenario_workloads(draw):
+    """A random member of the scenario-diversity families at a random
+    (small) size and data seed: serving request mixes, sort/reduction
+    trees, stencil neighbour exchanges, histogram private counters."""
+    family = draw(st.sampled_from(
+        ["serving", "sort", "stencil", "reduction", "histogram"]))
+    seed = draw(st.integers(0, 1 << 16))
+    if family == "serving":
+        cores = draw(st.sampled_from([1, 2]))
+        requests = draw(st.integers(4, 10))
+        return ServingWorkload(cores=cores, num_requests=requests,
+                               seed=seed), cores
+    h = draw(st.sampled_from([2, 4, 8]))
+    cores = (h + 3) // 4
+    if family == "sort":
+        return SortWorkload(h, chunk=draw(st.integers(2, 6)),
+                            seed=seed), cores
+    if family == "stencil":
+        return StencilWorkload(h, width=draw(st.integers(3, 8)),
+                               steps=draw(st.integers(1, 4)),
+                               seed=seed), cores
+    if family == "reduction":
+        return ReductionWorkload(h, chunk=draw(st.integers(2, 8)),
+                                 seed=seed), cores
+    bins = draw(st.sampled_from([2, 4, 8]))
+    # the merge phase runs one thread per *bin*, so the machine must
+    # have harts for max(h, bins) team members
+    return HistogramWorkload(h, chunk=draw(st.integers(2, 8)),
+                             bins=bins, seed=seed), (max(h, bins) + 3) // 4
+
+
+@given(scenario_workloads())
+@settings(max_examples=10, deadline=None)
+def test_scenario_families_agree_across_engines(case):
+    """Differential check over the scenario families: the functional
+    fast simulator, the sanitized cycle interpreter and the sharded SoA
+    engine must all pass the workload's own self-check against its
+    Python reference, the two cycle runs must be trace-bit-exact, and
+    the detector must come out clean (modulo each workload's declared
+    polling protocol)."""
+    workload, cores = case
+    program = compile_to_program(workload.source, "scenario.c")
+
+    fast = FastLBP(Params(num_cores=cores)).load(program)
+    fast.run(max_cycles=5_000_000)
+    workload.verify(fast, program)
+
+    cycle = LBP(Params(num_cores=cores, trace_enabled=True),
+                sanitize=True, backend="interp").load(program)
+    cycle_stats = cycle.run(max_cycles=5_000_000)
+    workload.verify(cycle, program)
+
+    sharded = LBP(Params(num_cores=cores, trace_enabled=True),
+                  shards=2 if cores > 1 else None,
+                  backend="soa").load(program)
+    sharded_stats = sharded.run(max_cycles=5_000_000)
+    workload.verify(sharded, program)
+
+    assert cycle_stats.cycles == sharded_stats.cycles
+    assert cycle_stats.retired == sharded_stats.retired
+    assert _digest(cycle.trace.events) == _digest(sharded.trace.events)
+
+    sync = getattr(workload, "race_sync", None)
+    if sync is not None:
+        sync = [(program.symbol(sym), words * 4) for sym, words in sync]
+    report = cycle.race_report(sync=sync)
     assert report.clean, report.format()
     assert report.blocked == 0

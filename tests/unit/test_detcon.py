@@ -1,0 +1,202 @@
+"""Deterministic Consistency baseline: merge semantics + timing model.
+
+Three properties pin the model (see ``repro.baselines.detcon``):
+
+* quantum merges are commutative in *presentation* order — which thread
+  reached the barrier first cannot influence the merged memory;
+* on a planted store-order case the classic coherent machine commits a
+  schedule-dependent value (different per ClassicSMP seed) while DC
+  commits one value however the run unfolded — the divergence that makes
+  DC a determinism baseline at all;
+* on race-free programs (disjoint write sets) DC and every classic
+  schedule agree — determinism costs nothing semantically when the
+  program was already data-race-free.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.baselines import ClassicSMP, DetCon, classic_store_order, merge_quantum
+
+
+# ---- merge commutativity -----------------------------------------------------
+
+
+def test_merge_quantum_commutes_over_presentation_order():
+    base = {0x100: 1, 0x104: 2, 0x108: 3}
+    write_sets = [
+        (0, {0x100: 10, 0x200: 11}),
+        (1, {0x104: 20, 0x100: 21}),
+        (2, {0x208: 30}),
+        (3, {0x104: 40, 0x20C: 41}),
+    ]
+    reference = None
+    for order in itertools.permutations(write_sets):
+        merged, conflicts = merge_quantum(base, order)
+        if reference is None:
+            reference = (merged, conflicts)
+        assert (merged, conflicts) == reference
+    merged, conflicts = reference
+    # task order (not arrival order) resolves each conflict: highest
+    # program-order writer wins
+    assert merged[0x100] == 21
+    assert merged[0x104] == 40
+    assert conflicts == [(0x100, [0, 1]), (0x104, [1, 3])]
+    # untouched locations survive the merge
+    assert merged[0x108] == 3
+
+
+def test_merge_quantum_masks_to_32_bits_and_keeps_base_intact():
+    base = {4: 7}
+    merged, conflicts = merge_quantum(base, [(0, {4: 0x1_0000_0003})])
+    assert merged[4] == 3
+    assert conflicts == []
+    assert base == {4: 7}  # merge never mutates the snapshot
+
+
+def test_merge_quantum_disjoint_sets_report_no_conflicts():
+    merged, conflicts = merge_quantum(
+        {}, [(tid, {0x40 * tid: tid + 1}) for tid in range(8)])
+    assert conflicts == []
+    assert merged == {0x40 * tid: tid + 1 for tid in range(8)}
+
+
+# ---- divergence from classic_smp on a planted store-order case ---------------
+
+
+def _planted_case():
+    """Two tasks store different values to one shared word."""
+    write_sets = {0: {0x500: 0xAAAA}, 1: {0x500: 0xBBBB}}
+    # unequal lengths + jitter/migrations make the completion order a
+    # function of the classic seed
+    instruction_counts = [60_000, 55_000]
+    return write_sets, instruction_counts
+
+
+def _classic_completion_order(seed, instruction_counts):
+    stats = ClassicSMP(num_cores=2, seed=seed).run_tasks(instruction_counts)
+    ends = sorted((task.end, task.task_id) for task in stats.tasks)
+    return [task_id for _end, task_id in ends]
+
+
+def test_classic_commits_schedule_dependent_value():
+    write_sets, counts = _planted_case()
+    finals = set()
+    for seed in range(12):
+        order = _classic_completion_order(seed, counts)
+        memory = classic_store_order({}, write_sets, order)
+        finals.add(memory[0x500])
+    # at least two schedules committed different winners
+    assert finals == {0xAAAA, 0xBBBB}
+
+
+def test_dc_commits_one_value_for_every_schedule():
+    write_sets, _counts = _planted_case()
+    finals = set()
+    for order in itertools.permutations(write_sets.items()):
+        merged, conflicts = merge_quantum({}, order)
+        finals.add(merged[0x500])
+        assert conflicts == [(0x500, [0, 1])]  # ... and says why
+    assert finals == {0xBBBB}  # task 1 is later in program order, always
+
+
+# ---- agreement on race-free programs ----------------------------------------
+
+
+def test_race_free_program_agrees_with_every_classic_schedule():
+    rng = random.Random(42)
+    write_sets = {tid: {0x1000 + 4 * (8 * tid + k): rng.randrange(1 << 16)
+                        for k in range(8)}
+                  for tid in range(6)}
+    counts = [rng.randrange(30_000, 90_000) for _ in range(6)]
+    dc_memory, conflicts = merge_quantum({}, write_sets.items())
+    assert conflicts == []
+    for seed in range(8):
+        order = _classic_completion_order(seed, counts)
+        assert classic_store_order({}, write_sets, order) == dc_memory
+
+
+def test_run_quanta_reads_see_snapshot_not_peer_writes():
+    model = DetCon(num_cores=2)
+    # both tasks read addr 0 from the snapshot and write addr depending
+    # on tid; if task 1 saw task 0's write the result would differ
+    def reader(tid):
+        return lambda snap: {0x10 + 4 * tid: snap.get(0x0, 0) + tid}
+
+    memory, stats = model.run_quanta(
+        {0x0: 100},
+        [[(0, 1_000, reader(0)), (1, 1_000, reader(1))]])
+    assert memory[0x10] == 100 and memory[0x14] == 101
+    # second quantum *does* see the first quantum's published writes
+    memory, _stats = model.run_quanta(
+        {0x0: 100},
+        [[(0, 1_000, lambda snap: {0x0: 7})],
+         [(0, 1_000, lambda snap: {0x4: snap[0x0]})]])
+    assert memory[0x4] == 7
+    assert stats.conflicts == []
+
+
+def test_run_quanta_is_shuffle_invariant():
+    model = DetCon(num_cores=4)
+    tasks = [(tid, 2_000, (lambda t: lambda snap: {0x600: t * 3,
+                                                   0x700 + 4 * t: t})(tid))
+             for tid in range(5)]
+    shuffled = list(tasks)
+    random.Random(9).shuffle(shuffled)
+    first = model.run_quanta({}, [tasks])
+    second = model.run_quanta({}, [shuffled])
+    assert first[0] == second[0]
+    assert first[1].cycles == second[1].cycles
+    assert first[1].conflicts == second[1].conflicts
+
+
+# ---- timing model ------------------------------------------------------------
+
+
+def test_dc_timing_is_seed_invariant_where_classic_is_not():
+    counts = [50_000] * 8
+    dc_cycles = {DetCon(num_cores=4, seed=seed).run_tasks(counts).cycles
+                 for seed in range(6)}
+    classic_cycles = {ClassicSMP(num_cores=4, seed=seed).run_tasks(counts).cycles
+                      for seed in range(6)}
+    assert len(dc_cycles) == 1
+    assert len(classic_cycles) > 1
+
+
+def test_dc_run_many_spread_collapses_to_a_point():
+    counts = [40_000] * 8
+    lowest, average, highest = DetCon(num_cores=4).run_many(counts, 10)
+    assert lowest == average == highest
+
+
+def test_dc_pays_for_barriers_and_merges():
+    counts = [30_000] * 4
+    cheap = DetCon(num_cores=4, barrier_cost=0,
+                   merge_cost_per_word=0).run_tasks(counts)
+    priced = DetCon(num_cores=4, barrier_cost=500,
+                    merge_cost_per_word=2).run_tasks(
+        counts, write_words_per_task=64)
+    assert priced.barriers == cheap.barriers == 3  # ceil(30k / 10k) rounds
+    assert priced.quanta == cheap.quanta == 12
+    assert priced.merged_words == 3 * 4 * 64
+    overhead = priced.cycles - cheap.cycles
+    assert overhead == 3 * 500 + priced.merged_words * 2
+
+
+def test_dc_more_cores_faster_but_still_deterministic():
+    counts = [80_000] * 16
+    slow = DetCon(num_cores=2).run_tasks(counts).cycles
+    fast = DetCon(num_cores=8).run_tasks(counts).cycles
+    assert fast < slow
+    assert DetCon(num_cores=8).run_tasks(counts).cycles == fast
+
+
+def test_dc_uneven_tasks_price_by_slowest_core_per_round():
+    # one long task dominates each round: total = its runtime + per-round
+    # overheads, independent of the short tasks packed on other cores
+    stats = DetCon(num_cores=4, barrier_cost=100,
+                   merge_cost_per_word=0).run_tasks([45_000, 5_000, 5_000])
+    assert stats.barriers == 5  # ceil(45k / 10k)
+    assert stats.cycles == 45_000 + 5 * 100

@@ -29,6 +29,7 @@ def test_paper_quoted_values_present():
 
 def test_run_matmul_experiment_row_shape():
     row = run_matmul_experiment("base", 8, 2, scale=2, simulator="cycle")
+    assert row["workload"] == "matmul"
     assert row["version"] == "base"
     assert row["cycles"] > 0 and row["retired"] > 0
     assert 0 < row["ipc"] <= 2.0
