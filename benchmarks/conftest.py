@@ -133,6 +133,7 @@ def _extract_workload(result):
 #: ``workload`` key — first substring match wins
 _WORKLOAD_BY_NAME = (
     ("serve_load", "job_service"),
+    ("trace_overhead", "job_service"),
     ("serving", "serving"),
     ("matmul", "matmul"),
     ("setget", "setget"),
@@ -197,6 +198,11 @@ def _record_perf(experiment, wall, result, jobs=None, extra=None):
         # and an explicit ``extra`` key (merged below) wins over both
         "workload": _extract_workload(result) or _infer_workload(experiment),
     }
+    # whether span recording was live during the measured run (PR 10):
+    # rows default to the untraced hot path; trace-overhead benchmarks
+    # override via ``extra`` so traced and untraced samples never mix in
+    # one trend line
+    entry["traced"] = False
     if not simulated:
         entry["non_perf"] = True
     if stalls:

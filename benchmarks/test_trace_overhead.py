@@ -1,0 +1,99 @@
+"""Tracing overhead guard: spans-on serving wall <= 1.15x spans-off.
+
+The span subsystem's budget (DESIGN.md §14): with tracing on, every
+submission mints an admission span and every execution ships a span
+payload up the progress pipe — none of which may cost real serving
+throughput.  This benchmark drives the same hit-heavy load (the span-
+densest path per unit of work: admission + cache_probe spans with no
+simulation to hide behind) through two identical daemons, tracing on
+and off, and holds the wall-clock ratio under a fixed ceiling.
+
+Best-of-2 walls per mode, modes interleaved, so one scheduler hiccup
+cannot fabricate (or mask) a regression on a noisy 1-CPU CI host.
+
+Env knobs: ``LBP_TRACE_OVERHEAD_JOBS`` scales the storm (default 300),
+``LBP_TRACE_MAX_RATIO`` overrides the ceiling.
+"""
+
+import os
+import time
+
+from repro.serve import ServeConfig, ServerThread
+from repro.serve.loadgen import run_load
+
+TOTAL_JOBS = int(os.environ.get("LBP_TRACE_OVERHEAD_JOBS", "300"))
+MAX_RATIO = float(os.environ.get("LBP_TRACE_MAX_RATIO", "1.15"))
+KEYS = 8
+CONNECTIONS = 16
+ROUNDS = 2  # best-of per mode
+
+ASM = """
+main:
+    li   t1, 40
+loop:
+    addi t1, t1, -1
+    bnez t1, loop
+    ebreak
+"""
+
+
+def _job(inputs):
+    return {"source": ASM, "filename": "job.s",
+            "params": {"num_cores": 2}, "inputs": inputs}
+
+
+def _storm_wall(root, trace):
+    """One fresh daemon, prewarmed keys, then a timed all-hit storm."""
+    os.makedirs(root, exist_ok=True)
+    config = ServeConfig(unix_path=os.path.join(root, "serve.sock"),
+                         cache_root=os.path.join(root, "cache"),
+                         workers=2, trace=trace)
+    address = {"unix_path": config.unix_path}
+    with ServerThread(config) as handle:
+        prewarm = [{"kind": "prewarm", "job": _job(n)} for n in range(KEYS)]
+        run_load(address, prewarm, concurrency=4)
+
+        plan = [{"kind": "hit", "job": _job(n % KEYS)}
+                for n in range(TOTAL_JOBS)]
+        t0 = time.perf_counter()
+        samples = run_load(address, plan, concurrency=CONNECTIONS)
+        wall = time.perf_counter() - t0
+
+        assert all(sample["http_status"] == 200 for sample in samples)
+        assert all(sample["status"] == "hit" for sample in samples)
+        if trace:
+            # the measured run really recorded spans — prewarm + storm
+            # each minted at least one admission span per submission
+            assert handle.server.spans.started >= KEYS + TOTAL_JOBS
+        else:
+            assert handle.server.spans is None
+    return wall
+
+
+def test_trace_overhead_ratio(tmp_path, perf_record):
+    walls = {True: [], False: []}
+    for attempt in range(ROUNDS):
+        for trace in (False, True):
+            label = "%s-%d" % ("on" if trace else "off", attempt)
+            walls[trace].append(_storm_wall(str(tmp_path / label), trace))
+
+    best_off = min(walls[False])
+    best_on = min(walls[True])
+    ratio = best_on / best_off
+    perf_record(best_on, extra={
+        "traced": True,
+        "trace_overhead": {
+            "jobs": TOTAL_JOBS,
+            "connections": CONNECTIONS,
+            "wall_on_s": round(best_on, 6),
+            "wall_off_s": round(best_off, 6),
+            "ratio": round(ratio, 4),
+            "max_ratio": MAX_RATIO,
+        },
+    })
+    print("\ntrace overhead: %d hit-jobs, spans-on %.3fs vs spans-off %.3fs "
+          "(ratio %.3f, budget %.2f)"
+          % (TOTAL_JOBS, best_on, best_off, ratio, MAX_RATIO))
+    assert ratio <= MAX_RATIO, (
+        "tracing costs %.1f%% serving wall (budget %.0f%%)"
+        % ((ratio - 1) * 100, (MAX_RATIO - 1) * 100))

@@ -268,6 +268,12 @@ def cmd_observe(args):
         write_windows_csv,
     )
 
+    spans = clock = None
+    if args.spans:
+        from repro.observe import SpanRecorder, clock_anchor
+
+        spans = SpanRecorder()
+        root = spans.start("observe", tags={"source": args.source})
     program = _build_program(args.source)
     # the Perfetto hart tracks only need the team-protocol events; a
     # full trace is available for debugging but costs memory on long runs
@@ -279,7 +285,24 @@ def cmd_observe(args):
         shards=args.shards,
         metrics=args.metrics_interval,
     ).load(program)
+    if spans is not None:
+        import time as _time
+
+        run_span = spans.start("run", parent=root)
+        # the sharded engine records per-epoch wait/send/recv child
+        # spans in each shard process and merges them back here
+        machine.span_ctx = run_span.ctx
+        run_start = _time.monotonic()
     stats = machine.run(max_cycles=args.max_cycles)
+    if spans is not None:
+        run_span.finish(cycles=machine.cycle)
+        root.finish()
+        clock = clock_anchor(run_start,
+                             max(run_span.end_s - run_start, 0.0),
+                             stats.cycles)
+        shard_spans = getattr(machine, "span_records", None)
+        if shard_spans:
+            spans.absorb(shard_spans)
     report = machine.metrics_report()
 
     print("halt     :", machine.halt_reason)
@@ -292,8 +315,17 @@ def cmd_observe(args):
         print(line)
     for line in transport_table(getattr(machine, "transport_stats", None)):
         print(line)
+    if spans is not None:
+        print("spans    : %d recorded (trace %s)"
+              % (len(spans), root.trace_id))
     if args.perfetto:
-        count = write_chrome_trace(machine, args.perfetto)
+        if spans is not None:
+            # merged file: service spans + core timelines on one
+            # wall-clock axis (the run anchor maps cycles onto it)
+            count = write_chrome_trace(machine, args.perfetto,
+                                       spans=spans.records(), clock=clock)
+        else:
+            count = write_chrome_trace(machine, args.perfetto)
         print("perfetto : %s (%d events; open in ui.perfetto.dev)"
               % (args.perfetto, count))
     if args.csv:
@@ -413,7 +445,9 @@ def cmd_serve(args):
         max_cache_age_s=args.max_cache_age,
         job_timeout=args.job_timeout, retries=args.retries,
         progress_every=args.progress_every,
-        quotas=quotas, default_quota=default_quota)
+        quotas=quotas, default_quota=default_quota,
+        trace=not args.no_trace, trace_out=args.trace_out,
+        flight_dir=args.flight_dir)
 
     async def main():
         server = SimServer(config)
@@ -438,6 +472,9 @@ def cmd_serve(args):
         print("drained  : %d completed, %d hits, %d coalesced, %d evictions"
               % (stats["jobs"]["completed"], stats["jobs"]["hits"],
                  stats["jobs"]["coalesced"], stats["cache"]["evictions"]))
+        if config.trace_out and server.spans is not None:
+            print("trace    : %s (%d span(s); open in ui.perfetto.dev)"
+                  % (config.trace_out, len(server.spans)))
 
     asyncio.run(main())
     return 0
@@ -466,15 +503,23 @@ def cmd_submit(args):
             if record["status"] == "hit":
                 final = record
             else:
-                final = record
+                terminal = None
                 for event in client.stream(record["id"]):
                     if event["kind"] == "progress":
                         print("progress : cycle %-10d ipc %-6s top stall %s"
                               % (event["cycle"], event["ipc"],
                                  event.get("top_stall", "-")), file=sys.stderr)
                     else:
-                        final = event
-                        final["status"] = event["kind"]
+                        terminal = event
+                        terminal["status"] = event["kind"]
+                if terminal is None:
+                    # the stream ended without a terminal event (daemon
+                    # drained, connection dropped): recover the job's
+                    # actual fate instead of reporting nothing
+                    terminal = client.job(record["id"])
+                    terminal.setdefault("status", terminal.get("state"))
+                final = terminal
+                final.setdefault("key", record.get("key"))
         else:
             final = client.submit_one(job, tenant=args.tenant,
                                       priority=args.priority, wait=True)
@@ -625,6 +670,11 @@ def main(argv=None):
     p_obs.add_argument("--full-trace", action="store_true",
                        help="record every event kind, not just the team "
                             "protocol (more memory, richer trace)")
+    p_obs.add_argument("--spans", action="store_true",
+                       help="record service spans around the run (and "
+                            "per-epoch spans from shard workers); "
+                            "--perfetto then writes the merged "
+                            "service+core file on one shared clock")
     p_obs.set_defaults(func=cmd_observe)
 
     p_check = sub.add_parser(
@@ -704,6 +754,17 @@ def main(argv=None):
                               "hits and coalesced joins are free)")
     p_serve.add_argument("--default-quota", metavar="RATE[:BURST]",
                          help="bucket for tenants not listed in --quotas")
+    p_serve.add_argument("--no-trace", action="store_true",
+                         help="disable request-path span recording "
+                              "(tracing is on by default; results are "
+                              "identical either way)")
+    p_serve.add_argument("--trace-out", metavar="PATH", default=None,
+                         help="write the recorded service spans as a "
+                              "Perfetto/Chrome trace file on drain")
+    p_serve.add_argument("--flight-dir", metavar="DIR", default=None,
+                         help="arm the crash flight recorder: processes "
+                              "spill their last-N event rings here as "
+                              ".jsonl dumps on worker crash")
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = sub.add_parser(

@@ -228,10 +228,14 @@ def _run_all_deadlined(tasks, jobs, timeout, retries, meta):
     meta.setdefault("timeouts", 0)
     meta.setdefault("retries", 0)
 
+    from repro.observe.spans import flight, flight_dir
+
     def reap(forked, task, detail, timed_out):
         forked.terminate()
         if timed_out:
             meta["timeouts"] += 1
+        flight().note("task_timeout" if timed_out else "task_crash",
+                      task=str(task[0]), attempt=attempts[task[0]])
         if attempts[task[0]] <= retries:
             meta["retries"] += 1
             queue.append(task)
@@ -239,6 +243,11 @@ def _run_all_deadlined(tasks, jobs, timeout, retries, meta):
         for straggler in active:
             if straggler is not forked:
                 straggler.terminate()
+        # retry budget exhausted: spill the flight ring so the sweep's
+        # dispatch/timeout history survives the raise (no-op unless
+        # LBP_FLIGHT_DIR is set)
+        flight().spill(flight_dir(),
+                       "task %s out of attempts" % (task[0],))
         if timed_out:
             raise TaskTimeoutError(task[0], timeout, attempts[task[0]])
         raise TaskFailedError(task[0], detail, attempts[task[0]])
@@ -247,6 +256,8 @@ def _run_all_deadlined(tasks, jobs, timeout, retries, meta):
         while queue and len(active) < jobs:
             task = queue.pop(0)
             attempts[task[0]] += 1
+            flight().note("task_dispatch", task=str(task[0]),
+                          attempt=attempts[task[0]])
             active[ForkedTask(task[1], task[2], task[3])] = task
         deadline = min(f.started_at for f in active) + timeout
         wait = max(0.0, deadline - time.monotonic())

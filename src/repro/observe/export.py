@@ -127,9 +127,11 @@ def transport_table(transport_stats):
     report: ``epoch_wait`` is wall-clock time the workers spent blocked
     on the epoch barrier (ring spin or pipe read), so it varies run to
     run while the metrics report must stay byte-identical for any shard
-    count.  Returns ``[]`` for an in-process (unsharded) run.
+    count.  Returns ``[]`` for an in-process (unsharded) run — whether
+    that is a missing stats object (plain ``LBP``) or the zeroed
+    same-schema object degenerate ``shards=1`` runs now publish.
     """
-    if not transport_stats:
+    if not transport_stats or not transport_stats.get("per_shard"):
         return []
     lines = [
         "epoch transport: %s, %d shards, %d epochs (%d fast-forwarded, "

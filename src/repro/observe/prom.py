@@ -1,0 +1,290 @@
+"""Prometheus text-format rendering and validation (exposition 0.0.4).
+
+The serve daemon's ``/metrics`` endpoint is assembled here from plain
+numbers the server already tracks — no client library, no registry
+singletons, no background threads.  The server hands
+:func:`render` a list of metric families each scrape; rendering is
+pure, so the endpoint can never perturb a running job.
+
+:func:`validate_prometheus_text` is the same checker CI runs against a
+live daemon: it enforces the structural rules a real Prometheus scraper
+cares about (``# TYPE`` precedes samples, sample syntax, histogram
+``le`` buckets monotone and capped by ``+Inf == _count``).
+"""
+
+import math
+import re
+
+__all__ = ["Histogram", "family", "render", "validate_prometheus_text"]
+
+#: fixed latency buckets (seconds): sub-ms cache hits through 10 s
+#: simulations.  Fixed — not adaptive — so rates are comparable across
+#: scrapes and across daemon restarts.
+LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                   0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+class Histogram:
+    """A fixed-bucket cumulative histogram (Prometheus semantics).
+
+    ``observe()`` is O(buckets) with no allocation — cheap enough for
+    the request path.  Buckets are cumulative at render time only.
+    """
+
+    __slots__ = ("buckets", "counts", "inf_count", "total", "count")
+
+    def __init__(self, buckets=LATENCY_BUCKETS):
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * len(self.buckets)
+        self.inf_count = 0
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value):
+        value = float(value)
+        self.total += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.inf_count += 1
+
+    def samples(self, name, labels=None):
+        """Cumulative ``_bucket``/``_sum``/``_count`` sample rows."""
+        rows = []
+        running = 0
+        for bound, count in zip(self.buckets, self.counts):
+            running += count
+            rows.append((name + "_bucket",
+                         _merge_labels(labels, le=_format_bound(bound)),
+                         running))
+        running += self.inf_count
+        rows.append((name + "_bucket", _merge_labels(labels, le="+Inf"),
+                     running))
+        rows.append((name + "_sum", dict(labels or {}), self.total))
+        rows.append((name + "_count", dict(labels or {}), self.count))
+        return rows
+
+
+def _format_bound(bound):
+    # 0.25 -> "0.25", 1.0 -> "1.0": repr keeps the shortest float form
+    return repr(float(bound))
+
+
+def _merge_labels(labels, **extra):
+    merged = dict(labels or {})
+    merged.update(extra)
+    return merged
+
+
+def family(name, kind, help_text, samples):
+    """One metric family: *samples* is ``[(suffix_name, labels, value)]``
+    for histograms (pre-suffixed) or ``[(labels, value)]`` for
+    counters/gauges, where labels may be None."""
+    normalized = []
+    for sample in samples:
+        if len(sample) == 3:
+            normalized.append(sample)
+        else:
+            labels, value = sample
+            normalized.append((name, labels, value))
+    return {"name": name, "kind": kind, "help": help_text,
+            "samples": normalized}
+
+
+def _escape_help(text):
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value):
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_value(value):
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value == int(value) and abs(value) < 1e15:
+            return repr(value)
+        return repr(value)
+    return str(value)
+
+
+def render(families):
+    """Render metric families to exposition text (trailing newline)."""
+    lines = []
+    for fam in families:
+        lines.append("# HELP %s %s" % (fam["name"], _escape_help(fam["help"])))
+        lines.append("# TYPE %s %s" % (fam["name"], fam["kind"]))
+        for name, labels, value in fam["samples"]:
+            if labels:
+                label_text = ",".join(
+                    '%s="%s"' % (key, _escape_label(labels[key]))
+                    for key in sorted(labels))
+                lines.append("%s{%s} %s" % (name, label_text,
+                                            _format_value(value)))
+            else:
+                lines.append("%s %s" % (name, _format_value(value)))
+    return "\n".join(lines) + "\n"
+
+
+# ---- validation --------------------------------------------------------------
+
+_METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^ ]+)(?:\s+\d+)?$")
+_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+_VALID_KINDS = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def _parse_value(text):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def _base_name(name, types):
+    """Map a sample name to its declared family (histogram suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return name
+
+
+def validate_prometheus_text(text):
+    """Structurally validate exposition text; raise ValueError on the
+    first violation, return the parsed family dict on success.
+
+    Checks: TYPE before samples, valid TYPE kinds, sample-line syntax,
+    label syntax, histogram ``le`` buckets strictly orderable with a
+    ``+Inf`` bucket equal to ``_count``, cumulative bucket monotonicity,
+    and ``_sum``/``_count`` present for every histogram.
+    """
+    if not text.endswith("\n"):
+        raise ValueError("exposition text must end with a newline")
+    types = {}
+    seen_samples = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4:
+                raise ValueError("line %d: malformed TYPE" % lineno)
+            _, _, name, kind = parts
+            if not _METRIC_RE.match(name):
+                raise ValueError("line %d: bad metric name %r" % (lineno, name))
+            if kind not in _VALID_KINDS:
+                raise ValueError("line %d: bad TYPE kind %r" % (lineno, kind))
+            if name in types:
+                raise ValueError("line %d: duplicate TYPE for %s" % (lineno, name))
+            if any(_base_name(s, types) == name for s in seen_samples):
+                raise ValueError(
+                    "line %d: TYPE for %s after its samples" % (lineno, name))
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError("line %d: malformed sample %r" % (lineno, line))
+        name = match.group("name")
+        labels = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            for pair in _split_labels(raw_labels, lineno):
+                if not _LABEL_RE.match(pair):
+                    raise ValueError(
+                        "line %d: malformed label %r" % (lineno, pair))
+                key, _, value = pair.partition("=")
+                labels[key] = value[1:-1]
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            raise ValueError("line %d: malformed sample value %r"
+                             % (lineno, match.group("value")))
+        base = _base_name(name, types)
+        if base not in types:
+            raise ValueError(
+                "line %d: sample %s has no preceding TYPE" % (lineno, name))
+        seen_samples.setdefault(name, []).append((labels, value))
+    _check_histograms(types, seen_samples)
+    return {"types": types, "samples": seen_samples}
+
+
+def _split_labels(raw, lineno):
+    """Split `a="x",b="y"` on commas outside quotes."""
+    pairs, depth, current = [], False, []
+    escaped = False
+    for char in raw:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            depth = not depth
+            current.append(char)
+            continue
+        if char == "," and not depth:
+            pairs.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if current:
+        pairs.append("".join(current))
+    if depth:
+        raise ValueError("line %d: unterminated label quote" % lineno)
+    return pairs
+
+
+def _check_histograms(types, seen_samples):
+    for name, kind in types.items():
+        if kind != "histogram":
+            continue
+        buckets = seen_samples.get(name + "_bucket", [])
+        sums = seen_samples.get(name + "_sum", [])
+        counts = seen_samples.get(name + "_count", [])
+        if not buckets:
+            raise ValueError("histogram %s has no _bucket samples" % name)
+        if not sums or not counts:
+            raise ValueError("histogram %s missing _sum or _count" % name)
+        # group buckets by their non-le labels (one series per label set)
+        series = {}
+        for labels, value in buckets:
+            if "le" not in labels:
+                raise ValueError("histogram %s bucket missing le" % name)
+            rest = tuple(sorted((k, v) for k, v in labels.items()
+                                if k != "le"))
+            series.setdefault(rest, []).append((labels["le"], value))
+        count_by_series = {
+            tuple(sorted(labels.items())): value for labels, value in counts}
+        for rest, entries in series.items():
+            parsed = [(_parse_value(le), value) for le, value in entries]
+            parsed.sort(key=lambda pair: pair[0])
+            bounds = [bound for bound, _ in parsed]
+            values = [value for _, value in parsed]
+            if not math.isinf(bounds[-1]):
+                raise ValueError("histogram %s missing +Inf bucket" % name)
+            if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+                raise ValueError("histogram %s has duplicate le bounds" % name)
+            if any(v2 < v1 for v1, v2 in zip(values, values[1:])):
+                raise ValueError(
+                    "histogram %s buckets not cumulative" % name)
+            expected = count_by_series.get(rest)
+            if expected is not None and values[-1] != expected:
+                raise ValueError(
+                    "histogram %s +Inf bucket %s != _count %s"
+                    % (name, values[-1], expected))

@@ -195,7 +195,7 @@ class _Worker:
     """One shard's run loop (executes in the forked child)."""
 
     def __init__(self, machine, shard, bounds, peer_send, peer_recv,
-                 to_parent, from_parent, mesh=None):
+                 to_parent, from_parent, mesh=None, span_ctx=None):
         self.machine = machine
         self.shard = shard
         self.bounds = bounds
@@ -242,6 +242,17 @@ class _Worker:
         self.ff_epochs = 0
         self.ff_cycles = 0
         self.epoch_wait_s = 0.0
+        # optional span recording (observability only — the ring keeps
+        # the *last* N epoch spans; drained over the final gather frame
+        # and merged by the coordinator).  None keeps the barrier path
+        # span-free: the disabled cost is one attribute test per epoch.
+        self.span_ctx = span_ctx
+        if span_ctx is not None:
+            from repro.observe.spans import SpanRecorder
+
+            self.spans = SpanRecorder()
+        else:
+            self.spans = None
 
     def _poll(self):
         """Ring-wait escape hatch: die if the coordinator is gone."""
@@ -257,6 +268,13 @@ class _Worker:
         the earliest pending activity (event delivery) anywhere, or None.
         """
         t0 = time.perf_counter()
+        spans = self.spans
+        if spans is not None:
+            wait_span = spans.start("epoch_wait", parent=self.span_ctx,
+                                    tags={"shard": self.shard,
+                                          "cycle": cycle})
+            send_span = spans.start("epoch_send", parent=wait_span,
+                                    tags={"shard": self.shard})
         machine = self.machine
         outbox = machine._outbox
         machine._outbox = []
@@ -288,6 +306,10 @@ class _Worker:
                                  poll=self._poll)
             else:
                 _send_blob(self.peer_send[peer], blob)
+        if spans is not None:
+            send_span.finish(events=len(outbox))
+            recv_span = spans.start("epoch_recv", parent=wait_span,
+                                    tags={"shard": self.shard})
         events = machine._events
         heappush = heapq.heappush
         rings = self.ring_recv
@@ -301,9 +323,13 @@ class _Worker:
             statuses[peer] = peer_status
             for event in batch:
                 heappush(events, event)
+        if spans is not None:
+            recv_span.finish()
         merged = self._merge(statuses)
         self.epochs += 1
         self.epoch_wait_s += time.perf_counter() - t0
+        if spans is not None:
+            wait_span.finish()
         return merged
 
     def _status(self, cycle, outbox):
@@ -462,6 +488,8 @@ class _Worker:
                 sys.stdout.flush()
         payload = self._gather_payload()
         payload["transport"] = self._transport_stats()
+        if self.spans is not None:
+            payload["spans"] = self.spans.drain()
         _send(self.to_parent,
               ("final", outcome, self.machine.cycle, payload))
 
@@ -614,13 +642,32 @@ class _Worker:
 
 
 def _worker_main(machine, shard, bounds, peer_send, peer_recv,
-                 to_parent, from_parent, run_kwargs, profile, mesh=None):
+                 to_parent, from_parent, run_kwargs, profile, mesh=None,
+                 span_ctx=None):
     worker = _Worker(machine, shard, bounds, peer_send, peer_recv,
-                     to_parent, from_parent, mesh=mesh)
+                     to_parent, from_parent, mesh=mesh, span_ctx=span_ctx)
     worker.run(profile=profile, **run_kwargs)
 
 
 # ---- parent-side coordinator -------------------------------------------------
+
+
+def zeroed_transport_stats():
+    """The ``transport_stats`` schema with every counter at zero.
+
+    Published by degenerate (in-process, shards<=1) runs so consumers —
+    ``observe.transport_table``, BENCH recorders — read one shape
+    unconditionally instead of guarding on existence.
+    """
+    return {
+        "transport": None,
+        "shards": 1,
+        "epoch_wait_s": 0.0,
+        "epochs": 0,
+        "ff_epochs": 0,
+        "ff_cycles": 0,
+        "per_shard": [],
+    }
 
 
 class ShardedLBP:
@@ -662,6 +709,12 @@ class ShardedLBP:
         #: last sharded run (nondeterministic by nature, so it lives
         #: here, outside every deterministic surface)
         self.transport_stats = None
+        #: optional tracing: callers set ``span_ctx`` to a
+        #: ``(trace_id, span_id)`` tuple before run(); the shard workers
+        #: then record per-epoch wait/send/recv spans, merged back here
+        #: as ``span_records`` (plain dicts, never machine state)
+        self.span_ctx = None
+        self.span_records = None
         #: when set, shard 0's worker runs under cProfile and prints its
         #: top-20 table before exiting (``repro run --profile --shards N``)
         self.profile_shard_zero = False
@@ -766,7 +819,12 @@ class ShardedLBP:
                 or master.halted
                 or (stop_at_cycle is not None
                     and master.cycle >= stop_at_cycle)):
-            # degenerate cases: the in-process loop is the sharded run
+            # degenerate cases: the in-process loop is the sharded run.
+            # Publish a zeroed stats object with the sharded schema so
+            # observe.transport_table and BENCH consumers never need an
+            # existence check (no epochs were exchanged, so every
+            # transport counter is honestly zero).
+            self.transport_stats = zeroed_transport_stats()
             return master.run(
                 max_cycles=max_cycles, stop_at_cycle=stop_at_cycle,
                 snapshot_every=snapshot_every,
@@ -792,6 +850,13 @@ class _Coordinator:
         self.down = {}    # shard -> write fd (parent -> worker)
         self.mesh = None  # shm ring segment (None under the pipe transport)
         self.transport = choose_transport(sharded.transport)
+        self.span_ctx = sharded.span_ctx
+        self._spans = None
+        self._span = None
+        if self.span_ctx is not None:
+            from repro.observe.spans import SpanRecorder
+
+            self._spans = SpanRecorder()
 
     def run(self, max_cycles, stop_at_cycle, snapshot_every,
             snapshot_callback):
@@ -805,6 +870,10 @@ class _Coordinator:
             "snapshot_every": snapshot_every,
             "want_snapshots": snapshot_callback is not None,
         }
+        if self._spans is not None:
+            self._span = self._spans.start(
+                "shard_coordinate", parent=tuple(self.span_ctx),
+                tags={"shards": shards, "transport": self.transport})
 
         # full mesh: mesh[i][j] = (read, write) pipe carrying i -> j.
         # Under the shm transport the pipes stay open as the control and
@@ -842,6 +911,11 @@ class _Coordinator:
 
             return self._serve(snapshot_callback, stop_at_cycle)
         finally:
+            if self._span is not None:
+                self._span.finish()
+                records = self.sharded.span_records or []
+                records.extend(self._spans.drain())
+                self.sharded.span_records = records
             self._cleanup()
 
     def _child(self, shard, mesh, parent_up, parent_down, run_kwargs):
@@ -874,14 +948,22 @@ class _Coordinator:
                 else:
                     os.close(r)
             profile = self.sharded.profile_shard_zero and shard == 0
+            span_ctx = self._span.ctx if self._span is not None else None
             _worker_main(self.master, shard, self.bounds, peer_send,
                          peer_recv, to_parent, from_parent, run_kwargs,
-                         profile, mesh=self.mesh)
+                         profile, mesh=self.mesh, span_ctx=span_ctx)
             status = 0
         except BaseException:
             import traceback
 
             traceback.print_exc()
+            # flight recorder: a crashing shard spills its own last-N
+            # event ring before electing the crash frame (a SIGKILLed
+            # sibling can't — the coordinator spills for the fleet)
+            from repro.observe.spans import flight, flight_dir
+
+            flight().note("shard_crash", shard=shard)
+            flight().spill(flight_dir(), "shard %d crashed" % shard)
             if to_parent is not None:
                 try:
                     _send(to_parent, ("crash", shard, None, None))
@@ -910,6 +992,16 @@ class _Coordinator:
                     continue
                 frame = _recv_or_fail(pending.pop(shard))
                 if frame[0] == "crash":
+                    # crash-frame election: spill the coordinator's own
+                    # flight ring (the dead worker's ring died with it)
+                    from repro.observe.spans import flight, flight_dir
+
+                    flight().note("crash_frame", shard=frame[1],
+                                  shards=len(self.bounds),
+                                  transport=self.transport)
+                    flight().spill(
+                        flight_dir(),
+                        "shard crash frame (shard=%r)" % (frame[1],))
                     self._kill_workers()
                     raise MachineError(
                         "sharded worker crashed (see the worker's "
@@ -947,10 +1039,16 @@ class _Coordinator:
         master = self.master
         master._events = []
         shard_stats = []
+        shard_spans = []
         for frame in frames:
             payload = frame[3]
             if "transport" in payload:
                 shard_stats.append(payload["transport"])
+            shard_spans.extend(payload.get("spans") or ())
+        if shard_spans:
+            records = self.sharded.span_records or []
+            records.extend(shard_spans)
+            self.sharded.span_records = records
         if shard_stats:
             self.sharded.transport_stats = {
                 "transport": self.transport,

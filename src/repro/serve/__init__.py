@@ -15,7 +15,10 @@ stack uses, applied to deterministic simulations:
 * :mod:`repro.serve.worker` — the forked child: run one simulation,
   stream progress (cycle/IPC/top stall) from periodic-snapshot points;
 * :mod:`repro.serve.server` — the asyncio HTTP daemon (TCP + unix
-  socket), priority scheduling, graceful drain, ``/stats``;
+  socket), priority scheduling, graceful drain, ``/stats``, the
+  Prometheus ``/metrics`` endpoint, and end-to-end request tracing
+  (admission spans chained through the forked worker down to per-shard
+  epoch spans — see :mod:`repro.observe.spans`);
 * :mod:`repro.serve.client` — the blocking client behind
   ``repro submit``;
 * :mod:`repro.serve.loadgen` — the load harness that records hit/miss

@@ -80,19 +80,26 @@ class JobSpec:
     Wire shape (all but ``source`` optional)::
 
         {"source": "...", "filename": "job.c", "params": {"num_cores": 4},
-         "inputs": <any JSON>, "max_cycles": 500000000}
+         "inputs": <any JSON>, "max_cycles": 500000000,
+         "shards": 2, "backend": "soa"}
 
     ``params`` are :class:`repro.machine.Params` keyword arguments;
     ``inputs`` is the free-form workload-input component of the cache
     key; ``max_cycles`` bounds the run but — matching
     ``RunCache.run_program`` — does *not* participate in the key (a
     successful run's value is independent of its cycle budget).
+    ``shards`` and ``backend`` pick the execution strategy; both are
+    bit-exact by construction (the sharded-engine and backend-parity
+    invariants), so like ``max_cycles`` they stay out of the key — the
+    same work requested interp/soa or sharded/unsharded is one cache
+    object.
     """
 
-    __slots__ = ("source", "filename", "params", "inputs", "max_cycles")
+    __slots__ = ("source", "filename", "params", "inputs", "max_cycles",
+                 "shards", "backend")
 
     def __init__(self, source, filename="job.c", params=None, inputs=None,
-                 max_cycles=None):
+                 max_cycles=None, shards=None, backend=None):
         if not isinstance(source, str) or not source:
             raise ValueError("job needs a non-empty 'source' string")
         if not isinstance(filename, str) or "/" in filename:
@@ -103,13 +110,19 @@ class JobSpec:
         self.params = dict(params or {})
         self.inputs = inputs
         self.max_cycles = max_cycles
+        if shards is not None and (not isinstance(shards, int) or shards < 1):
+            raise ValueError("'shards' must be a positive integer")
+        if backend is not None and backend not in ("interp", "soa"):
+            raise ValueError("'backend' must be 'interp' or 'soa'")
+        self.shards = shards
+        self.backend = backend
 
     @classmethod
     def from_wire(cls, payload):
         if not isinstance(payload, dict):
             raise ValueError("each job must be a JSON object")
         unknown = set(payload) - {"source", "filename", "params", "inputs",
-                                  "max_cycles"}
+                                  "max_cycles", "shards", "backend"}
         if unknown:
             raise ValueError("unknown job field(s): %s"
                              % ", ".join(sorted(unknown)))
@@ -117,7 +130,9 @@ class JobSpec:
                    filename=payload.get("filename", "job.c"),
                    params=payload.get("params"),
                    inputs=payload.get("inputs"),
-                   max_cycles=payload.get("max_cycles"))
+                   max_cycles=payload.get("max_cycles"),
+                   shards=payload.get("shards"),
+                   backend=payload.get("backend"))
 
     def machine_params(self):
         """The Params object this spec describes (validates the kwargs)."""
@@ -140,7 +155,8 @@ class Job:
 
     __slots__ = ("id", "key", "spec", "tenant", "priority", "state",
                  "value", "error", "progress", "attempts", "coalesced",
-                 "done", "cancel_event", "subscribers", "seq")
+                 "done", "cancel_event", "subscribers", "seq", "trace_id",
+                 "trace_ctx")
 
     def __init__(self, job_id, key, spec, tenant, priority, seq):
         self.id = job_id
@@ -161,6 +177,13 @@ class Job:
         #: boundary without asyncio cancel semantics
         self.cancel_event = threading.Event()
         self.subscribers = []
+        #: the creating admission's trace id — the *execution* trace all
+        #: coalesced admissions reference — and its full
+        #: ``(trace_id, span_id)`` context, propagated by value into the
+        #: forked worker (observability only; never part of the cache
+        #: key or the result value)
+        self.trace_id = None
+        self.trace_ctx = None
 
     @property
     def sort_key(self):
@@ -194,6 +217,8 @@ class Job:
         record = {"id": self.id, "key": self.key, "state": self.state,
                   "tenant": self.tenant, "priority": self.priority,
                   "attempts": self.attempts, "coalesced": self.coalesced}
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
         if self.progress is not None:
             record["progress"] = self.progress
         if self.value is not None:

@@ -39,7 +39,14 @@ class PoolCancelled(Exception):
 
 
 class PoolTaskError(Exception):
-    """The child reported an error (deterministic — never retried)."""
+    """The child reported an error (deterministic — never retried).
+
+    ``worker_died`` is True when the child vanished without reporting —
+    the crash-flight-recorder case, as opposed to an ordinary
+    simulation error the child described itself.
+    """
+
+    worker_died = False
 
 
 class WorkerPool:
@@ -105,7 +112,13 @@ class WorkerPool:
                 finished = True
                 if kind == "ok":
                     return payload
-                raise PoolTaskError(payload)
+                error = PoolTaskError(payload)
+                # a child that vanished (SIGKILL, OOM, interpreter
+                # abort) never reported — flag it so the server can
+                # spill the flight recorder for post-mortem debugging
+                error.worker_died = (isinstance(payload, str)
+                                     and payload.startswith("worker died"))
+                raise error
         finally:
             if finished:
                 task.close()  # child is exiting on its own: just reap

@@ -21,19 +21,34 @@ Endpoints (JSON in, sorted-key JSON out)::
 
     GET  /healthz                     liveness
     GET  /stats                       cache/jobs/pool/quota counters
+    GET  /metrics                     Prometheus text exposition
+    GET  /v1/trace                    drained span records + clock anchor
     POST /v1/jobs                     submit a batch; ?/body "wait" blocks
     GET  /v1/jobs/<id>                job status (+ value when done)
     GET  /v1/jobs/<id>/stream         NDJSON progress events, then terminal
     POST /v1/jobs/<id>/cancel         cancel a queued or running job
 
+Observability (PR 10): every submission mints a trace at admission
+(``admission`` span, ``cache_probe``/``quota`` children); a created
+job's trace context travels by value into the forked worker, where
+``execute``/``compile``/``run`` spans — and, sharded, per-epoch
+wait/send/recv spans from the shard processes — are recorded and shipped
+back over the existing progress pipe as one ``{"kind": "spans"}``
+payload, intercepted here before stream fan-out.  Coalesced admissions
+are their own one-span traces tagged with the executing job's trace id.
+All of it is observation-only: results, cache bytes and golden digests
+are identical with tracing on or off.
+
 Shutdown is a graceful drain: listeners close first (no new work), the
 queue runs dry, in-flight responses are written, then the workers stop
-and the cache is final-swept.
+and the cache is final-swept (and the span buffer is written to
+``--trace-out`` when configured).
 """
 
 import asyncio
 import heapq
 import json
+import os
 import threading
 import time
 import urllib.parse
@@ -47,6 +62,8 @@ from repro.serve.jobs import (
     JobSpec,
     JobTable,
 )
+from repro.observe import prom
+from repro.observe.spans import FLIGHT_ENV, SpanRecorder, flight
 from repro.serve.pool import PoolCancelled, PoolTaskError, PoolTimeout, WorkerPool
 from repro.serve.quota import QuotaExceeded, QuotaManager
 from repro.serve.worker import execute_job
@@ -67,7 +84,7 @@ class ServeConfig:
                  workers=2, cache_root=None, max_cache_bytes=None,
                  max_cache_age_s=None, job_timeout=None, retries=1,
                  progress_every=None, quotas=None, default_quota=None,
-                 history=1024):
+                 history=1024, trace=True, trace_out=None, flight_dir=None):
         if port is None and unix_path is None:
             raise ValueError("serve needs a TCP port and/or a unix socket")
         self.host = host
@@ -83,6 +100,12 @@ class ServeConfig:
         self.quotas = quotas
         self.default_quota = default_quota
         self.history = history
+        #: span recording on the request path (off = spans-free hot path)
+        self.trace = trace
+        #: write the drained span buffer here (Perfetto JSON) on drain
+        self.trace_out = trace_out
+        #: arm the crash flight recorder: dumps land in this directory
+        self.flight_dir = flight_dir
 
 
 class _HttpError(Exception):
@@ -110,6 +133,18 @@ class SimServer:
         self.started_at = None
         self.bound_port = None
         self._puts_since_gc = 0
+        #: service spans (admission and everything the workers ship back)
+        self.spans = SpanRecorder(capacity=16384) if config.trace else None
+        #: the newest cycles↔wall clock anchor a worker reported — what
+        #: ties core timelines into the merged Perfetto view
+        self.last_clock = None
+        #: request/execution latency histograms for /metrics
+        self.http_seconds = prom.Histogram()
+        self.execute_seconds = prom.Histogram()
+        if config.flight_dir:
+            # exported so forked workers (and their shard children)
+            # inherit the spill destination through fork
+            os.environ[FLIGHT_ENV] = config.flight_dir
 
     # ---- lifecycle ----------------------------------------------------------
 
@@ -138,6 +173,12 @@ class SimServer:
         self._queue_event.set()  # wake idle workers so they can exit
         await asyncio.gather(*self._worker_tasks)
         self._final_gc()
+        if self.config.trace_out and self.spans is not None:
+            from repro.observe.perfetto import write_chrome_trace
+
+            write_chrome_trace(None, self.config.trace_out,
+                               spans=self.spans.records(),
+                               clock=self.last_clock)
 
     def _final_gc(self):
         if (self.config.max_cache_bytes is not None
@@ -174,16 +215,32 @@ class SimServer:
         job.state = RUNNING
         spec = job.spec
         self.table.counters["executed"] += 1
+        flight().note("execute", job=job.id, key=job.key[:16],
+                      tenant=job.tenant)
 
         def on_attempt():
             job.attempts += 1
 
+        def on_progress(event):
+            # span payloads ride the same pipe as progress but are
+            # server-internal: absorb them BEFORE stream fan-out (a
+            # non-progress kind would terminate client NDJSON streams)
+            if event.get("kind") == "spans":
+                if self.spans is not None:
+                    self.spans.absorb(event.get("spans") or ())
+                    if event.get("clock"):
+                        self.last_clock = event["clock"]
+                return
+            job.publish(event)
+
+        started = time.monotonic()
         try:
             value = await self.pool.run(
                 execute_job,
                 args=(spec.source, spec.filename, spec.params,
-                      spec.max_cycles, self.config.progress_every),
-                on_progress=job.publish, on_attempt=on_attempt,
+                      spec.max_cycles, self.config.progress_every,
+                      spec.shards, spec.backend, job.trace_ctx),
+                on_progress=on_progress, on_attempt=on_attempt,
                 cancel_event=job.cancel_event)
         except PoolCancelled:
             self.table.counters["cancelled"] += 1
@@ -193,6 +250,12 @@ class SimServer:
             job.fail("timeout: %s" % exc)
         except PoolTaskError as exc:
             self.table.counters["failed"] += 1
+            if exc.worker_died:
+                # the child's flight ring died with it — spill the
+                # server's own view so the crash is debuggable
+                flight().note("worker_died", job=job.id, error=str(exc))
+                flight().spill(self.config.flight_dir,
+                               "worker died executing %s" % job.id)
             job.fail(str(exc))
         except Exception as exc:  # defensive: a worker bug must not kill the loop
             self.table.counters["failed"] += 1
@@ -203,6 +266,8 @@ class SimServer:
             job.resolve(canonical if canonical is not None else value)
             self._maybe_gc()
         finally:
+            self.execute_seconds.observe(time.monotonic() - started)
+            flight().note("job_" + job.state, job=job.id)
             self.table.finish(job)
 
     def _maybe_gc(self):
@@ -217,33 +282,80 @@ class SimServer:
     # ---- submission ---------------------------------------------------------
 
     def _submit_one(self, payload, tenant, priority):
-        """The single-flight decision for one job; returns a wire record."""
-        spec = JobSpec.from_wire(payload)
+        """The single-flight decision for one job; returns a wire record.
+
+        Every submission mints its own trace: the ``admission`` root
+        span covers keying through the scheduling decision, with
+        ``cache_probe`` (and, for new executions, ``quota``) children.
+        A *created* job adopts its admission's trace — the worker-side
+        ``execute`` span chains onto it; a *coalesced* admission stays
+        its own one-span trace, tagged ``execution_trace`` with the
+        running job's trace id so the N:1 fan-in is recoverable.
+        """
+        spans = self.spans
+        admission = None
+        if spans is not None:
+            admission = spans.start("admission",
+                                    tags={"tenant": tenant,
+                                          "priority": priority})
         try:
-            key = spec.cache_key(self.cache)
-        except ValueError:
-            raise
-        except Exception as exc:  # compile/assemble error: the client's fault
-            raise _HttpError(400, "bad program: %s: %s"
-                             % (type(exc).__name__, exc))
-        entry = self.cache.get(key)
-        if entry is not None:
-            self.table.counters["submitted"] += 1
-            self.table.counters["hits"] += 1
-            return {"key": key, "status": "hit", "value": entry["value"]}
-        self.table.counters["misses"] += 1
-        if key not in self.table.inflight:
-            # charging precedes admission so a rejected job leaves no trace
+            spec = JobSpec.from_wire(payload)
             try:
-                self.quotas.charge(tenant)
-            except QuotaExceeded as exc:
-                raise _HttpError(429, str(exc))
-        job, created = self.table.admit(spec, key, tenant, priority)
-        if created:
-            heapq.heappush(self._heap, (*job.sort_key, job))
-            self._queue_event.set()
-        return {"key": key, "id": job.id,
-                "status": "queued" if created else "coalesced"}
+                key = spec.cache_key(self.cache)
+            except ValueError:
+                raise
+            except Exception as exc:  # compile/assemble error: client's fault
+                raise _HttpError(400, "bad program: %s: %s"
+                                 % (type(exc).__name__, exc))
+            if spans is not None:
+                with spans.span("cache_probe", parent=admission,
+                                key=key[:16]):
+                    entry = self.cache.get(key)
+            else:
+                entry = self.cache.get(key)
+            if entry is not None:
+                self.table.counters["submitted"] += 1
+                self.table.counters["hits"] += 1
+                if admission is not None:
+                    admission.finish(outcome="hit", key=key[:16])
+                    admission = None
+                return {"key": key, "status": "hit", "value": entry["value"]}
+            self.table.counters["misses"] += 1
+            if key not in self.table.inflight:
+                # charging precedes admission: a rejected job leaves no trace
+                try:
+                    if spans is not None:
+                        with spans.span("quota", parent=admission,
+                                        tenant=tenant):
+                            self.quotas.charge(tenant)
+                    else:
+                        self.quotas.charge(tenant)
+                except QuotaExceeded as exc:
+                    raise _HttpError(429, str(exc))
+            job, created = self.table.admit(spec, key, tenant, priority)
+            if created:
+                if admission is not None:
+                    job.trace_id = admission.trace_id
+                    job.trace_ctx = admission.ctx
+                flight().note("admit", job=job.id, key=key[:16],
+                              tenant=tenant)
+                heapq.heappush(self._heap, (*job.sort_key, job))
+                self._queue_event.set()
+            if admission is not None:
+                admission.tags["job"] = job.id
+                if created:
+                    admission.finish(outcome="queued")
+                else:
+                    # the N:1 coalesce edge: this admission's trace
+                    # points at the one execution trace serving it
+                    admission.finish(outcome="coalesced",
+                                     execution_trace=job.trace_id)
+                admission = None
+            return {"key": key, "id": job.id,
+                    "status": "queued" if created else "coalesced"}
+        finally:
+            if admission is not None:
+                admission.finish(outcome="rejected")
 
     async def _submit_batch(self, body):
         if not isinstance(body, dict):
@@ -304,6 +416,82 @@ class SimServer:
             "cache": self.cache.stats(),
             "quota": self.quotas.snapshot(),
         }
+
+    def metrics_text(self):
+        """The Prometheus text exposition for ``GET /metrics``.
+
+        Assembled fresh per scrape from counters the server already
+        keeps — rendering reads state, never mutates it, so a scrape
+        can't perturb a running job.
+        """
+        counters = self.table.counters
+        pool = self.pool.snapshot()
+        cache = self.cache.stats()
+        uptime = (time.monotonic() - self.started_at
+                  if self.started_at is not None else 0.0)
+        families = [
+            prom.family(
+                "repro_jobs_total", "counter",
+                "Job admissions by outcome event",
+                [({"event": name}, counters[name])
+                 for name in ("submitted", "hits", "misses", "coalesced",
+                              "executed", "completed", "failed",
+                              "cancelled", "job_timeouts")]),
+            prom.family(
+                "repro_queue_depth", "gauge",
+                "Jobs admitted and waiting for a pool worker",
+                [(None, self.table.depth())]),
+            prom.family(
+                "repro_jobs_running", "gauge",
+                "Jobs currently executing in forked workers",
+                [(None, self.table.running())]),
+            prom.family(
+                "repro_pool_workers", "gauge",
+                "Configured worker pool size",
+                [(None, pool["workers"])]),
+            prom.family(
+                "repro_pool_busy", "gauge",
+                "Pool workers currently occupied",
+                [(None, pool["busy"])]),
+            prom.family(
+                "repro_pool_timeouts_total", "counter",
+                "Execution attempts that blew their deadline",
+                [(None, pool["timeouts"])]),
+            prom.family(
+                "repro_pool_retries_total", "counter",
+                "Execution attempts retried after a timeout",
+                [(None, pool["retries_spent"])]),
+            prom.family(
+                "repro_cache_entries", "gauge",
+                "Run-cache entries on disk",
+                [(None, cache["entries"])]),
+            prom.family(
+                "repro_cache_disk_bytes", "gauge",
+                "Run-cache on-disk footprint (entries + snapshots)",
+                [(None, cache["disk_bytes"])]),
+            prom.family(
+                "repro_uptime_seconds", "gauge",
+                "Seconds since the daemon started",
+                [(None, round(uptime, 3))]),
+            prom.family(
+                "repro_http_request_seconds", "histogram",
+                "HTTP request latency",
+                self.http_seconds.samples("repro_http_request_seconds")),
+            prom.family(
+                "repro_job_execute_seconds", "histogram",
+                "Forked execution wall time (admission to result)",
+                self.execute_seconds.samples("repro_job_execute_seconds")),
+        ]
+        if self.spans is not None:
+            families.append(prom.family(
+                "repro_spans_recorded_total", "counter",
+                "Spans started in the server process",
+                [(None, self.spans.started)]))
+            families.append(prom.family(
+                "repro_spans_dropped_total", "counter",
+                "Span records evicted from the bounded ring",
+                [(None, self.spans.dropped)]))
+        return prom.render(families)
 
     # ---- the HTTP surface ---------------------------------------------------
 
@@ -376,9 +564,29 @@ class SimServer:
                    "keep-alive" if keep_alive else "close"))
         writer.write(head.encode("latin-1") + body)
 
+    @staticmethod
+    def _write_text(writer, status, text, keep_alive=True,
+                    content_type="text/plain; version=0.0.4; charset=utf-8"):
+        body = text.encode()
+        head = ("HTTP/1.1 %d %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %d\r\n"
+                "Connection: %s\r\n\r\n"
+                % (status, "OK" if status == 200 else "Status", content_type,
+                   len(body), "keep-alive" if keep_alive else "close"))
+        writer.write(head.encode("latin-1") + body)
+
     async def _dispatch(self, request, writer):
         method, path = request["method"], request["path"]
         keep_alive = request["headers"].get("connection", "").lower() != "close"
+        started = time.monotonic()
+        try:
+            return await self._route(request, writer, keep_alive)
+        finally:
+            self.http_seconds.observe(time.monotonic() - started)
+
+    async def _route(self, request, writer, keep_alive):
+        method, path = request["method"], request["path"]
         try:
             if path == "/healthz" and method == "GET":
                 self._write_json(writer, 200, {"ok": True,
@@ -386,6 +594,16 @@ class SimServer:
                                  keep_alive)
             elif path == "/stats" and method == "GET":
                 self._write_json(writer, 200, self.stats(), keep_alive)
+            elif path == "/metrics" and method == "GET":
+                self._write_text(writer, 200, self.metrics_text(), keep_alive)
+            elif path == "/v1/trace" and method == "GET":
+                if self.spans is None:
+                    raise _HttpError(404, "tracing is disabled")
+                self._write_json(writer, 200,
+                                 {"spans": self.spans.records(),
+                                  "clock": self.last_clock,
+                                  "dropped": self.spans.dropped},
+                                 keep_alive)
             elif path == "/v1/jobs" and method == "POST":
                 if self.draining:
                     raise _HttpError(503, "draining")

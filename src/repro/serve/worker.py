@@ -15,6 +15,16 @@ metered (zero-perturbation — PR 5's guarantee is that metrics never
 change results) and a compact progress payload is emitted at the same
 safe point periodic snapshots use: cycle count, retired, IPC so far and
 the dominant stall reason.
+
+When the caller additionally hands a *trace_ctx* — the admission span's
+``(trace_id, span_id)``, propagated by value through the fork — the
+worker records its own child spans (compile, load, run; and, sharded,
+per-epoch wait/send/recv spans merged back from the shard processes)
+plus a cycles↔wall clock anchor, and ships them up the same progress
+pipe as one ``{"kind": "spans"}`` payload just before returning.  The
+server intercepts that payload before stream fan-out, so clients never
+see it.  Spans read clocks and nothing else: the result value, the
+trace digest and every cached byte are identical with tracing on.
 """
 
 from repro.machine import LBP
@@ -58,20 +68,39 @@ def job_value(machine, stats):
 
 
 def execute_job(source, filename, params_kwargs, max_cycles=None,
-                progress_every=None, progress=None):
+                progress_every=None, shards=None, backend=None,
+                trace_ctx=None, progress=None):
     """Run one job to completion; returns the canonical result value.
 
     *progress* (injected by the pool) receives :func:`job_progress`
     payloads roughly every *progress_every* cycles; passing it implies a
     metered run so the payloads carry IPC and the top stall reason.
+    *shards*/*backend* select the execution strategy (bit-exact either
+    way).  *trace_ctx* links this execution into the admission's trace.
     """
+    import time
+
     from repro.serve.jobs import compiled_program
 
-    program = compiled_program(source, filename)
+    spans = None
+    execute_span = None
+    if trace_ctx is not None:
+        from repro.observe.spans import SpanRecorder, flight
+
+        spans = SpanRecorder()
+        execute_span = spans.start("execute", parent=tuple(trace_ctx))
+        flight().note("execute_begin", filename=filename, shards=shards,
+                      backend=backend, trace_id=execute_span.trace_id)
+
+    if spans is not None:
+        with spans.span("compile", parent=execute_span, filename=filename):
+            program = compiled_program(source, filename)
+    else:
+        program = compiled_program(source, filename)
     from repro.machine import Params
 
     metered = progress is not None
-    machine = LBP(Params(**params_kwargs),
+    machine = LBP(Params(**params_kwargs), shards=shards, backend=backend,
                   metrics=True if metered else None).load(program)
     run_kwargs = {}
     if max_cycles is not None:
@@ -80,5 +109,36 @@ def execute_job(source, filename, params_kwargs, max_cycles=None,
         every = progress_every or DEFAULT_PROGRESS_EVERY
         run_kwargs["snapshot_every"] = every
         run_kwargs["snapshot_callback"] = lambda m: progress(job_progress(m))
-    stats = machine.run(**run_kwargs)
-    return job_value(machine, stats)
+    clock = None
+    if spans is not None:
+        run_span = spans.start("run", parent=execute_span)
+        # the sharded engine forwards this context into each shard
+        # process and merges their epoch spans back via the final
+        # gather payload (engine.span_records)
+        machine.span_ctx = run_span.ctx
+        run_start = time.monotonic()
+        try:
+            stats = machine.run(**run_kwargs)
+        finally:
+            run_span.finish(cycles=machine.cycle)
+        from repro.observe.spans import clock_anchor
+
+        # anchor on stats.cycles — the count chrome_trace reports — so
+        # the served clock and a deterministic replay agree exactly
+        clock = clock_anchor(run_start, max(run_span.end_s - run_start, 0.0),
+                             stats.cycles)
+        shard_spans = getattr(machine, "span_records", None)
+        if shard_spans:
+            spans.absorb(shard_spans)
+    else:
+        stats = machine.run(**run_kwargs)
+    value = job_value(machine, stats)
+    if spans is not None:
+        execute_span.finish(cycles=value["cycles"], retired=value["retired"],
+                            trace_digest=value["trace_digest"][:16])
+        flight().note("execute_end", cycles=value["cycles"],
+                      trace_id=execute_span.trace_id)
+        if progress is not None:
+            progress({"kind": "spans", "spans": spans.drain(),
+                      "clock": clock, "dropped": spans.dropped})
+    return value
